@@ -1,0 +1,52 @@
+"""Shared infrastructure for the experiment benches.
+
+Each bench regenerates one table or figure from the paper's evaluation and
+writes its rows to ``benchmarks/reports/<experiment>.txt`` (in addition to
+pytest-benchmark's timing capture), so EXPERIMENTS.md can be checked
+against fresh output.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+REPORT_DIR = Path(__file__).parent / "reports"
+
+
+class ReportWriter:
+    """Collects lines for one experiment and writes them on close."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.lines: list[str] = []
+
+    def line(self, text: str = "") -> None:
+        print(text)
+        self.lines.append(text)
+
+    def table(self, header: list[str], rows: list[list], widths: list[int] | None = None) -> None:
+        widths = widths or [max(14, len(h) + 2) for h in header]
+        fmt = "".join(f"{{:<{w}}}" for w in widths)
+        self.line(fmt.format(*header))
+        self.line("-" * sum(widths))
+        for row in rows:
+            self.line(fmt.format(*[_render(cell) for cell in row]))
+
+    def flush(self) -> None:
+        REPORT_DIR.mkdir(exist_ok=True)
+        (REPORT_DIR / f"{self.name}.txt").write_text("\n".join(self.lines) + "\n")
+
+
+def _render(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+@pytest.fixture
+def report(request):
+    writer = ReportWriter(request.node.name.removeprefix("test_"))
+    yield writer
+    writer.flush()

@@ -1,0 +1,81 @@
+"""Figure 1: validation error vs epoch under different weight representations.
+
+The paper's Figure 1 (from Zhu et al., 2016) trains the same network with
+different numeric formats and shows that the validation-error curves only
+separate after some epochs, with the coarsest formats never matching full
+precision.  This bench trains the image-classification benchmark under a
+range of emulated formats for a fixed epoch budget and reports the error
+curves.
+
+Expected shape: float32 / bfloat16 / fixed8 end close together; fixed4 and
+ternary separate visibly and end with higher validation error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.framework import Tensor, no_grad
+from repro.numerics import QuantizedWeights
+from repro.suite import create_benchmark
+
+FORMATS = ["float32", "bfloat16", "fixed8", "fixed4", "ternary"]
+EPOCHS = 7
+
+
+def train_with_format(fmt: str, seed: int = 0) -> list[float]:
+    """Validation error per epoch for one numeric format."""
+    bench = create_benchmark("image_classification")
+    bench.prepare_data()
+    hp = bench.spec.resolve_hyperparameters(None)
+    session = bench.create_session(seed, hp)
+    quantized = QuantizedWeights(session.model, fmt)
+    errors = []
+    for epoch in range(EPOCHS):
+        session.model.train()
+        for images, labels in session.loader:
+            from repro.framework import functional as F
+
+            logits = session.model(Tensor(images))
+            loss = F.cross_entropy(logits, labels)
+            session.model.zero_grad()
+            loss.backward()
+            quantized.apply_gradients(session.optimizer)
+            session.scheduler.step()
+        errors.append(1.0 - session.evaluate())
+    return errors
+
+
+def run_figure1() -> dict[str, list[float]]:
+    return {fmt: train_with_format(fmt) for fmt in FORMATS}
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_numerics(benchmark, report):
+    curves = benchmark.pedantic(run_figure1, rounds=1, iterations=1)
+
+    report.line("Figure 1 (reproduced): validation error by weight representation")
+    report.line(f"(image_classification, fixed {EPOCHS}-epoch budget, seed 0)")
+    report.line()
+    header = ["epoch"] + FORMATS
+    rows = [[e + 1] + [curves[f][e] for f in FORMATS] for e in range(EPOCHS)]
+    report.table(header, rows, widths=[7] + [11] * len(FORMATS))
+
+    final = {f: curves[f][-1] for f in FORMATS}
+    report.line()
+    report.line(f"final errors: { {k: round(v, 3) for k, v in final.items()} }")
+
+    # Paper shape 1: high-precision formats track full precision closely.
+    assert abs(final["bfloat16"] - final["float32"]) < 0.08
+    assert abs(final["fixed8"] - final["float32"]) < 0.08
+    # Paper shape 2: the coarsest representation never reaches the
+    # full-precision error ("some numerical representations never match") —
+    # several times worse, with a clear absolute gap.
+    assert final["ternary"] > 2.0 * final["float32"]
+    assert final["ternary"] > final["float32"] + 0.04
+    # Paper shape 3: curves separate over training — the gap at the end is
+    # larger than the gap after the first epoch for the coarse formats.
+    early_gap = curves["fixed4"][0] - curves["float32"][0]
+    late_gap = final["fixed4"] - final["float32"]
+    assert late_gap > early_gap - 0.05

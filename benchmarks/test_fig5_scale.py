@@ -1,0 +1,45 @@
+"""Figure 5: growth in chips of the fastest overall entry, v0.5 → v0.6.
+
+"Between the two submission rounds, the number of chips in a system used
+to produce the best overall performance result increased by an average of
+5.5 times" — driven by rule changes (LARS enabling large ResNet batches)
+and maturing large-batch software.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.systems import figure5_scale_growth
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_scale(benchmark, report):
+    growth = benchmark.pedantic(figure5_scale_growth, rounds=1, iterations=1)
+
+    report.line("Figure 5 (reproduced): chips in the fastest overall entry per round")
+    report.line()
+    rows = []
+    ratios = []
+    for name, (v05, v06) in growth.items():
+        ratio = v06.num_chips / v05.num_chips
+        ratios.append(ratio)
+        rows.append([name, v05.num_chips, v06.num_chips, v05.global_batch,
+                     v06.global_batch, f"{ratio:.1f}x"])
+    report.table(
+        ["benchmark", "v0.5 chips", "v0.6 chips", "v0.5 batch", "v0.6 batch", "growth"],
+        rows,
+        widths=[26, 12, 12, 12, 12, 8],
+    )
+    mean_ratio = float(np.mean(ratios))
+    report.line()
+    report.line(f"average chip-count growth: {mean_ratio:.1f}x   (paper: ~5.5x)")
+
+    # Paper shape: every benchmark's fastest entry grew; average in the
+    # several-x region.
+    assert all(r > 1.0 for r in ratios)
+    assert 3.0 <= mean_ratio <= 8.0
+    # The headline driver: v0.6 fastest entries exploit much larger batches.
+    for name, (v05, v06) in growth.items():
+        assert v06.global_batch >= v05.global_batch, name

@@ -1,0 +1,72 @@
+"""§2.2.2: minibatch size vs epochs-to-target (measured, not simulated).
+
+"MLPerf v0.5 ResNet-50 takes around 64 epochs ... at a minibatch size of
+4K, while a minibatch size of 16K can require over 80 epochs to reach the
+same accuracy, resulting in a 30% increase in computation."
+
+This bench measures the same interaction on the mini image-classification
+benchmark by actually training it at a sweep of batch sizes (with the
+linear LR-scaling rule the paper cites), then fits the critical-batch
+model the round simulator uses — closing the loop between measured
+convergence and the Figure 4/5 simulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BenchmarkRunner
+from repro.framework import linear_scaled_lr
+from repro.suite import create_benchmark
+from repro.systems import fit_critical_batch
+
+BATCHES = [32, 64, 128, 256]
+REFERENCE_BATCH = 64
+
+
+def epochs_at_batch(batch_size: int, seeds=(0, 1)) -> float:
+    bench = create_benchmark("image_classification")
+    runner = BenchmarkRunner()
+    base_lr = bench.spec.default_hyperparameters["base_lr"]
+    overrides = {
+        "batch_size": batch_size,
+        "base_lr": linear_scaled_lr(base_lr, batch_size, REFERENCE_BATCH),
+    }
+    epochs = []
+    for seed in seeds:
+        result = runner.run(bench, seed=seed, hyperparameter_overrides=overrides)
+        assert result.reached_target, f"batch {batch_size} seed {seed} failed to converge"
+        epochs.append(result.epochs)
+    return float(np.mean(epochs))
+
+
+def run_sweep() -> dict[int, float]:
+    return {b: epochs_at_batch(b) for b in BATCHES}
+
+
+@pytest.mark.benchmark(group="sec222")
+def test_sec222_batch_scaling(benchmark, report):
+    measured = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    model = fit_critical_batch(measured)
+    report.line("Section 2.2.2 (reproduced): batch size vs epochs-to-target")
+    report.line("(image_classification, linear LR scaling, mean of 2 seeds)")
+    report.line()
+    report.table(
+        ["batch", "epochs (measured)", "epochs (fit)"],
+        [[b, e, model.epochs_to_target(b)] for b, e in measured.items()],
+        widths=[8, 19, 14],
+    )
+    overhead = measured[BATCHES[-1]] / measured[BATCHES[0]] - 1.0
+    report.line()
+    report.line(
+        f"computation overhead {BATCHES[0]} -> {BATCHES[-1]}: {overhead:+.0%} "
+        f"(paper, 4K -> 16K: +30%)"
+    )
+    report.line(f"fitted critical-batch model: e_min={model.e_min:.1f} b_crit={model.b_crit:.0f}")
+
+    # Paper shape: the largest batch needs at least as many epochs as the
+    # smallest, with a real (>5%) computation overhead.
+    assert measured[BATCHES[-1]] >= measured[BATCHES[0]]
+    assert overhead > 0.05

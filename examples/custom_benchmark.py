@@ -1,0 +1,149 @@
+"""Extending the suite: a new benchmark through the public API.
+
+§6 lists "commerce (e.g. time series)" among the areas the suite should
+grow to cover.  This example adds exactly that — a synthetic time-series
+forecasting benchmark — using nothing but the public ``Benchmark`` /
+``TrainingSession`` interfaces, and runs it under the standard harness
+(timing rules, logging, scoring).  It is the template a working group
+would start from when proposing a new suite entry.
+
+Task: one-step-ahead forecasting of noisy seasonal AR sequences with an
+LSTM.  Quality: R^2 on held-out sequences (threshold 0.80).
+
+Run:  python examples/custom_benchmark.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import BenchmarkRunner, score_runs
+from repro.framework import LSTM, Adam, Linear, Module, Tensor, no_grad
+from repro.suite.base import Benchmark, BenchmarkSpec, TrainingSession
+
+WINDOW = 16
+
+
+def generate_series(n_series: int, length: int, rng: np.random.Generator) -> np.ndarray:
+    """Noisy seasonal AR(2) sequences, per-series random parameters."""
+    t = np.arange(length)
+    out = np.empty((n_series, length), dtype=np.float32)
+    for i in range(n_series):
+        period = rng.uniform(6, 14)
+        phase = rng.uniform(0, 2 * np.pi)
+        seasonal = np.sin(2 * np.pi * t / period + phase)
+        ar = np.zeros(length)
+        a1, a2 = rng.uniform(0.4, 0.7), rng.uniform(-0.3, 0.0)
+        noise = rng.normal(0, 0.15, size=length)
+        for k in range(2, length):
+            ar[k] = a1 * ar[k - 1] + a2 * ar[k - 2] + noise[k]
+        out[i] = (seasonal + ar).astype(np.float32)
+    return out
+
+
+def windows(series: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sliding (window -> next value) training pairs over all series."""
+    xs, ys = [], []
+    for row in series:
+        for start in range(len(row) - WINDOW):
+            xs.append(row[start : start + WINDOW])
+            ys.append(row[start + WINDOW])
+    return np.stack(xs)[..., None], np.array(ys, dtype=np.float32)
+
+
+class Forecaster(Module):
+    def __init__(self, rng: np.random.Generator, hidden: int = 32):
+        super().__init__()
+        self.lstm = LSTM(1, hidden, num_layers=1, rng=rng)
+        self.head = Linear(hidden, 1, rng)
+
+    def forward(self, x: np.ndarray) -> Tensor:
+        seq = Tensor(np.swapaxes(x, 0, 1))  # (T, N, 1)
+        out, _ = self.lstm(seq)
+        return self.head(out[-1]).reshape(-1)
+
+
+class _Session(TrainingSession):
+    def __init__(self, data, seed: int, hp):
+        rng = np.random.default_rng(seed)
+        self.model = Forecaster(rng, hidden=hp["hidden"])
+        self.optimizer = Adam(self.model.parameters(), lr=hp["base_lr"])
+        self.train_x, self.train_y = data["train"]
+        self.val_x, self.val_y = data["val"]
+        self.batch_size = hp["batch_size"]
+        self.seed = seed
+
+    def run_epoch(self, epoch: int) -> None:
+        rng = np.random.default_rng((self.seed, epoch))
+        order = rng.permutation(len(self.train_x))
+        self.model.train()
+        for start in range(0, len(order) - self.batch_size + 1, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            pred = self.model(self.train_x[idx])
+            loss = ((pred - Tensor(self.train_y[idx])) ** 2).mean()
+            self.model.zero_grad()
+            loss.backward()
+            self.optimizer.step()
+
+    def evaluate(self) -> float:
+        self.model.eval()
+        with no_grad():
+            pred = self.model(self.val_x).data
+        residual = float(((pred - self.val_y) ** 2).sum())
+        total = float(((self.val_y - self.val_y.mean()) ** 2).sum())
+        return 1.0 - residual / total  # R^2
+
+
+class TimeSeriesBenchmark(Benchmark):
+    """The proposed 8th suite entry, defined entirely via the public API."""
+
+    spec = BenchmarkSpec(
+        name="time_series_forecasting",
+        area="commerce",
+        dataset="SyntheticSeasonalAR",
+        model="LSTMForecaster",
+        quality_metric="R^2",
+        quality_threshold=0.80,
+        required_runs=10,
+        max_epochs=15,
+        default_hyperparameters={"batch_size": 64, "base_lr": 3e-3, "hidden": 32},
+        modifiable_hyperparameters=frozenset({"batch_size", "base_lr"}),
+    )
+
+    def __init__(self):
+        self.data = None
+
+    def prepare_data(self) -> None:
+        if self.data is not None:
+            return
+        rng = np.random.default_rng(2020)
+        train_series = generate_series(40, 80, rng)
+        val_series = generate_series(10, 80, rng)
+        self.data = {"train": windows(train_series), "val": windows(val_series)}
+
+    def create_session(self, seed: int, hyperparameters) -> TrainingSession:
+        if self.data is None:
+            raise RuntimeError("call prepare_data() first")
+        return _Session(self.data, seed, hyperparameters)
+
+
+def main() -> None:
+    bench = TimeSeriesBenchmark()
+    runner = BenchmarkRunner()
+    print(f"Proposed suite entry: {bench.spec.name} "
+          f"({bench.spec.quality_metric} >= {bench.spec.quality_threshold})")
+    runs = []
+    for seed in range(3):  # full submissions need required_runs=10
+        result = runner.run(bench, seed=seed)
+        print(f"  seed {seed}: quality={result.quality:.3f} epochs={result.epochs} "
+              f"ttt={result.time_to_train_s:.1f}s reached={result.reached_target}")
+        runs.append(result)
+    if all(r.reached_target for r in runs):
+        score = score_runs(runs)
+        print(f"provisional score (3 runs): {score.time_to_train_s:.2f}s")
+        print("The harness needed zero changes — the Benchmark interface is "
+              "the suite's extension point.")
+
+
+if __name__ == "__main__":
+    main()

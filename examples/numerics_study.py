@@ -1,0 +1,64 @@
+"""Numerics study: why quality measurement can't be skipped (Figure 1, §2.2.1).
+
+Trains the same image classifier under several emulated weight formats and
+prints the validation-error trajectory of each — demonstrating the paper's
+point that "the accuracy difference between single precision training and
+significantly lower precision training can only be seen in later epochs",
+so microbenchmarks alone cannot certify an optimization.
+
+Run:  python examples/numerics_study.py [epochs]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.framework import Tensor, functional as F
+from repro.numerics import QuantizedWeights, available_formats
+from repro.suite import create_benchmark
+
+FORMATS = ["float32", "fixed8", "fixed4", "ternary"]
+
+
+def train(fmt: str, epochs: int) -> list[float]:
+    bench = create_benchmark("image_classification")
+    bench.prepare_data()
+    session = bench.create_session(0, bench.spec.resolve_hyperparameters(None))
+    quantized = QuantizedWeights(session.model, fmt)
+    errors = []
+    for _ in range(epochs):
+        session.model.train()
+        for images, labels in session.loader:
+            loss = F.cross_entropy(session.model(Tensor(images)), labels)
+            session.model.zero_grad()
+            loss.backward()
+            quantized.apply_gradients(session.optimizer)
+            session.scheduler.step()
+        errors.append(1.0 - session.evaluate())
+    return errors
+
+
+def main() -> None:
+    epochs = int(sys.argv[1]) if len(sys.argv) > 1 else 6
+    print(f"Available formats: {available_formats()}")
+    print(f"Training image_classification for {epochs} epochs per format...\n")
+    curves = {}
+    for fmt in FORMATS:
+        curves[fmt] = train(fmt, epochs)
+        print(f"{fmt:<10} validation error by epoch: "
+              + " ".join(f"{e:.3f}" for e in curves[fmt]))
+    print()
+    full = curves["float32"][-1]
+    for fmt in FORMATS[1:]:
+        gap = curves[fmt][-1] - full
+        verdict = "tracking full precision" if gap < 0.05 else "separated from full precision"
+        print(f"{fmt:<10} final gap vs float32: {gap:+.3f}  ({verdict})")
+    print()
+    print("Note: this is exactly the paper's §2.2.1 point — with few epochs the"
+          "\ncurves have not yet separated; run with 7+ epochs to watch ternary"
+          "\ndiverge while fixed8 stays with float32 (see benchmarks/reports/"
+          "\nfig1_numerics.txt for the full study).")
+
+
+if __name__ == "__main__":
+    main()

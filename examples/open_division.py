@@ -1,0 +1,142 @@
+"""Open-division entry: a custom architecture on the same dataset + metric.
+
+§4.2.1: "The Open division is intended to encourage innovative solutions
+... It allows submissions to use model architectures, optimization
+procedures, and data augmentations different from the reference
+implementations" — but the dataset and the quality metric must match.
+
+This example builds a DAWNBench-style alternative entry for the
+image-classification task: a compact all-conv network trained with Adam
+and cosine LR instead of the reference MiniResNet + momentum SGD.  It
+reuses the benchmark's dataset and top-1 metric, wraps the custom trainer
+in the standard ``Benchmark`` interface, and times it with the same rules.
+
+Run:  python examples/open_division.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import BenchmarkRunner
+from repro.datasets import random_crop_flip
+from repro.framework import (
+    Adam,
+    BatchNorm2d,
+    Conv2d,
+    CosineLR,
+    DataLoader,
+    GlobalAvgPool2d,
+    Linear,
+    Module,
+    Sequential,
+    Tensor,
+    functional as F,
+    no_grad,
+)
+from repro.metrics import top1_accuracy
+from repro.suite import create_benchmark
+from repro.suite.base import Benchmark, TrainingSession
+
+
+class AllConvNet(Module):
+    """The Open entry's architecture: plain conv stack, no residuals."""
+
+    def __init__(self, num_classes: int, rng: np.random.Generator, width: int = 32):
+        super().__init__()
+        self.body = Sequential(
+            Conv2d(3, width, 3, rng, padding=1, bias=False),
+            BatchNorm2d(width),
+            _Relu(),
+            Conv2d(width, width, 3, rng, stride=2, padding=1, bias=False),
+            BatchNorm2d(width),
+            _Relu(),
+            Conv2d(width, 2 * width, 3, rng, stride=2, padding=1, bias=False),
+            BatchNorm2d(2 * width),
+            _Relu(),
+        )
+        self.pool = GlobalAvgPool2d()
+        self.head = Linear(2 * width, num_classes, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.head(self.pool(self.body(x)))
+
+
+class _Relu(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class OpenSession(TrainingSession):
+    def __init__(self, data, seed: int, hp):
+        rng = np.random.default_rng(seed)
+        self.data = data
+        self.model = AllConvNet(data.config.num_classes, rng)
+        self.optimizer = Adam(self.model.parameters(), lr=hp["base_lr"])
+        steps = max(len(data.train) // hp["batch_size"], 1)
+        self.scheduler = CosineLR(self.optimizer, hp["base_lr"], total_steps=12 * steps)
+        self.loader = DataLoader(data.train, hp["batch_size"], seed=seed,
+                                 drop_last=True, augment=random_crop_flip)
+
+    def run_epoch(self, epoch: int) -> None:
+        self.model.train()
+        for images, labels in self.loader:
+            loss = F.cross_entropy(self.model(Tensor(images)), labels,
+                                   label_smoothing=0.05)
+            self.model.zero_grad()
+            loss.backward()
+            self.optimizer.step()
+            self.scheduler.step()
+
+    def evaluate(self) -> float:
+        self.model.eval()
+        images, labels = self.data.val.arrays
+        with no_grad():
+            scores = np.concatenate([
+                self.model(Tensor(images[s : s + 256])).data
+                for s in range(0, len(images), 256)
+            ])
+        return top1_accuracy(scores, labels)
+
+
+class OpenImageClassification(Benchmark):
+    """Same dataset, same metric, same threshold — different everything else."""
+
+    def __init__(self):
+        self.reference = create_benchmark("image_classification")
+        # Inherit the reference spec: Open entries are compared on the same
+        # task definition, and review checks dataset + metric equivalence.
+        self.spec = self.reference.spec
+
+    def prepare_data(self) -> None:
+        self.reference.prepare_data()
+
+    def create_session(self, seed: int, hyperparameters) -> TrainingSession:
+        return OpenSession(self.reference.data, seed, hyperparameters)
+
+
+def main() -> None:
+    runner = BenchmarkRunner()
+
+    closed = create_benchmark("image_classification")
+    print("Closed division (reference MiniResNet + momentum SGD):")
+    closed_result = runner.run(closed, seed=0)
+    print(f"  quality={closed_result.quality:.3f} epochs={closed_result.epochs} "
+          f"time={closed_result.time_to_train_s:.1f}s")
+
+    print("Open division (AllConvNet + Adam + cosine LR + label smoothing):")
+    open_bench = OpenImageClassification()
+    open_result = runner.run(open_bench, seed=0)
+    print(f"  quality={open_result.quality:.3f} epochs={open_result.epochs} "
+          f"time={open_result.time_to_train_s:.1f}s")
+
+    faster = "Open" if open_result.time_to_train_s < closed_result.time_to_train_s else "Closed"
+    print(f"\nFaster to target: {faster} entry "
+          f"({min(open_result.time_to_train_s, closed_result.time_to_train_s):.1f}s vs "
+          f"{max(open_result.time_to_train_s, closed_result.time_to_train_s):.1f}s)")
+    print("Both trained on the identical dataset to the identical quality "
+          "metric and threshold — the §4.2.1 Open-division contract.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Quickstart: run one MLPerf-style benchmark end-to-end.
+
+Trains the recommendation benchmark (the fastest in the suite) to its
+quality target under the full harness — timing rules, structured logging,
+and the multi-run scoring rule — then prints the scored result.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import BenchmarkRunner, Keys, MLLogger, score_runs
+from repro.suite import create_benchmark, table1
+
+
+def main() -> None:
+    print("The benchmark suite (Table 1):")
+    print(table1())
+    print()
+
+    benchmark = create_benchmark("recommendation")
+    runner = BenchmarkRunner()
+
+    # §3.2.2: non-vision tasks require 10 runs; fastest and slowest are
+    # dropped and the rest averaged.
+    print(f"Running {benchmark.spec.required_runs} timed runs of "
+          f"'{benchmark.name}' (threshold: {benchmark.spec.quality_metric} >= "
+          f"{benchmark.spec.quality_threshold}) ...")
+    runs = []
+    for seed in range(benchmark.spec.required_runs):
+        result = runner.run(benchmark, seed=seed)
+        status = "reached" if result.reached_target else "FAILED"
+        print(f"  seed {seed}: {status} quality={result.quality:.3f} "
+              f"epochs={result.epochs} time={result.time_to_train_s:.3f}s")
+        runs.append(result)
+
+    score = score_runs(runs, required_runs=benchmark.spec.required_runs)
+    print()
+    print(f"Scored time-to-train (olympic mean of {score.num_runs} runs): "
+          f"{score.time_to_train_s:.3f}s")
+    print(f"  dropped fastest: {score.dropped_fastest_s:.3f}s")
+    print(f"  dropped slowest: {score.dropped_slowest_s:.3f}s")
+
+    # Every run produced a structured MLPerf-style log.
+    log = MLLogger.from_lines(runs[0].log_lines)
+    print()
+    print("First run's log (first 6 events):")
+    for event in log.events[:6]:
+        print(f"  {event.to_line()}")
+    final_eval = log.find(Keys.EVAL_ACCURACY)[-1]
+    print(f"  ... final eval_accuracy: {final_eval.value:.4f} "
+          f"(epoch {final_eval.metadata['epoch_num']})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Scaling study: batch size, chips, and the v0.5 → v0.6 story.
+
+Three connected analyses using the system simulator:
+
+1. the §2.2.2 trade-off — epochs-to-target grows with batch size, so
+   throughput gains don't translate 1:1 into time-to-train;
+2. scale-out curves — simulated TTT vs chip count for ResNet under both
+   rounds' rules, showing where v0.5's batch cap bites;
+3. the Figure 4/5 summary — fastest-entry speedups at 16 chips and the
+   chip-count growth of the fastest overall entries.
+
+Run:  python examples/scaling_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.systems import (
+    ROUND_V05,
+    ROUND_V06,
+    SCALING_BENCHMARKS,
+    best_entry_at_scale,
+    figure4_speedups,
+    figure5_scale_growth,
+)
+
+
+def batch_size_tradeoff() -> None:
+    profile = SCALING_BENCHMARKS["image_classification"]
+    print("1. Batch size vs epochs-to-target (ResNet profile, §2.2.2):")
+    print(f"   {'batch':>8} {'epochs':>8} {'overhead':>10}")
+    reference = 4096
+    for batch in (1024, 4096, 16384, 65536):
+        epochs = profile.convergence.epochs_to_target(batch)
+        overhead = profile.convergence.computation_overhead(batch, reference)
+        print(f"   {batch:>8} {epochs:>8.1f} {overhead:>+9.0%}")
+    print("   (paper: 4K -> 16K is a ~30% computation increase)")
+    print()
+
+
+def scale_out_curves() -> None:
+    print("2. Simulated ResNet time-to-train vs chips, both rounds:")
+    print(f"   {'chips':>6} {'v0.5 TTT':>12} {'v0.6 TTT':>12}")
+    for chips in (16, 64, 256, 512, 1024, 2048, 4096):
+        row = [f"{chips:>6}"]
+        for round_ in (ROUND_V05, ROUND_V06):
+            try:
+                entry = best_entry_at_scale("image_classification", round_, chips)
+                row.append(f"{entry.time_to_train_s:>10.0f}s")
+            except ValueError:
+                row.append(f"{'infeasible':>11}")
+        print("   " + " ".join(row))
+    print("   (v0.5's 8K-batch rule makes very large systems infeasible;")
+    print("    v0.6's LARS rule unlocks them)")
+    print()
+
+
+def round_comparison() -> None:
+    print("3. Figure 4: fastest 16-chip entry speedup v0.5 -> v0.6:")
+    speedups = figure4_speedups(16)
+    for name, speedup in speedups.items():
+        print(f"   {name:<26} {speedup:.2f}x")
+    print(f"   average: {np.mean(list(speedups.values())):.2f}x  (paper: ~1.3x)")
+    print()
+    print("   Figure 5: chips in the fastest overall entry:")
+    ratios = []
+    for name, (v05, v06) in figure5_scale_growth().items():
+        ratios.append(v06.num_chips / v05.num_chips)
+        print(f"   {name:<26} {v05.num_chips:>5} -> {v06.num_chips:<5} "
+              f"({ratios[-1]:.1f}x)")
+    print(f"   average: {np.mean(ratios):.1f}x  (paper: ~5.5x)")
+
+
+def main() -> None:
+    batch_size_tradeoff()
+    scale_out_curves()
+    round_comparison()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""A complete submission round: submit, review, borrow, report.
+
+Walks the full §4 process with two fictional submitters:
+
+1. ``acme`` submits a compliant Closed-division entry.
+2. ``zeta`` submits a Closed entry that illegally changes a fixed
+   hyperparameter; review flags it; zeta fixes it by *borrowing* acme's
+   modifiable hyperparameters (§4.1) and resubmits.
+3. The round publishes a per-benchmark results table (no summary score —
+   by design, §4.2.4).
+
+Run:  python examples/submission_round.py
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    BenchmarkRunner,
+    Category,
+    Division,
+    Submission,
+    SummaryScoreRefused,
+    SystemDescription,
+    SystemType,
+    borrow_hyperparameters,
+    build_report,
+    review_submission,
+    summary_score,
+)
+from repro.suite import create_benchmark
+
+BENCHMARK = "recommendation"
+
+
+def make_submission(submitter: str, runs) -> Submission:
+    system = SystemDescription(
+        submitter=submitter,
+        system_name=f"{submitter}-node",
+        system_type=SystemType.CLOUD if submitter == "zeta" else SystemType.ON_PREMISE,
+        num_nodes=1,
+        processors_per_node=2,
+        processor_type="cpu-x",
+        accelerators_per_node=4,
+        accelerator_type="gpu-large",
+        host_memory_gb=128.0,
+        interconnect="100GbE",
+        software_stack={"framework": "repro-0.1.0"},
+    )
+    sub = Submission(system, Division.CLOSED, Category.AVAILABLE,
+                     code_url=f"https://example.com/{submitter}/mlperf")
+    sub.add_runs(BENCHMARK, runs)
+    return sub
+
+
+def run_benchmark(overrides=None):
+    bench = create_benchmark(BENCHMARK)
+    runner = BenchmarkRunner()
+    return bench.spec, [
+        runner.run(bench, seed=seed, hyperparameter_overrides=overrides)
+        for seed in range(bench.spec.required_runs)
+    ]
+
+
+def main() -> None:
+    spec, acme_runs = run_benchmark()
+    acme = make_submission("acme", acme_runs)
+
+    # zeta "tunes" a fixed hyperparameter — illegal in the Closed division.
+    _, zeta_runs = run_benchmark({"gmf_dim": 16})
+    zeta = make_submission("zeta", zeta_runs)
+
+    specs = {spec.name: spec}
+    print("== Review pass 1 ==")
+    for sub in (acme, zeta):
+        print(review_submission(sub, specs))
+        print()
+
+    # zeta resubmits after review: adopts acme's modifiable HPs (§4.1
+    # hyperparameter borrowing) and drops the illegal change.
+    print("== zeta resubmits with borrowed hyperparameters ==")
+    borrowed = borrow_hyperparameters(
+        dict(spec.default_hyperparameters), acme_runs[0].hyperparameters, spec
+    )
+    overrides = {k: v for k, v in borrowed.items()
+                 if v != spec.default_hyperparameters[k]}
+    _, zeta_runs2 = run_benchmark(overrides or None)
+    zeta2 = make_submission("zeta", zeta_runs2)
+    print(review_submission(zeta2, specs))
+    print()
+
+    print("== Published results (per-benchmark; no summary score) ==")
+    report = build_report([acme, zeta2])
+    print(report.render())
+
+    print()
+    try:
+        summary_score(report)
+    except SummaryScoreRefused as refusal:
+        print(f"summary_score() refused, as §4.2.4 requires:\n  {refusal}")
+
+
+if __name__ == "__main__":
+    main()

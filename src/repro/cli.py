@@ -1,0 +1,200 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror how the MLPerf artifacts are used in practice:
+
+- ``table1`` — print the benchmark suite;
+- ``run`` — execute timed runs of a benchmark (optionally scoring them and
+  saving submission artifacts);
+- ``review`` — compliance-review a saved submission directory;
+- ``report`` — build the published per-benchmark results table from saved
+  submissions;
+- ``hp-table`` — print the §6 scale → hyperparameters recommendation table;
+- ``simulate`` — print the Figure 4/5 round-simulation summaries.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MLPerf Training Benchmark reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print the benchmark suite (Table 1)")
+
+    run = sub.add_parser("run", help="run timed training sessions of a benchmark")
+    run.add_argument("benchmark", help="benchmark name (see `repro table1`)")
+    run.add_argument("--seeds", type=int, default=1,
+                     help="number of seeded runs (default 1; use the spec's "
+                          "required count for a scoreable set)")
+    run.add_argument("--score", action="store_true",
+                     help="apply the §3.2.2 scoring rule (needs >= 3 runs)")
+    run.add_argument("--override", action="append", default=[],
+                     metavar="KEY=VALUE", help="hyperparameter override (JSON value)")
+    run.add_argument("--save", metavar="DIR",
+                     help="save submission artifacts under DIR")
+    run.add_argument("--submitter", default="cli-user",
+                     help="submitter name for saved artifacts")
+
+    review = sub.add_parser("review", help="compliance-review a saved submission")
+    review.add_argument("submission_dir", help="submitter directory (from `run --save`)")
+
+    report = sub.add_parser("report", help="render the results table from submissions")
+    report.add_argument("submission_dirs", nargs="+", help="submitter directories")
+
+    hp = sub.add_parser("hp-table", help="print the scale->hyperparameters table (§6)")
+    hp.add_argument("--chips", type=int, nargs="+", default=[1, 4, 16, 64])
+
+    sub.add_parser("simulate", help="print the Figure 4/5 round-simulation summary")
+    return parser
+
+
+def _parse_overrides(pairs: list[str]) -> dict:
+    overrides = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep:
+            raise SystemExit(f"bad --override {pair!r}: expected KEY=VALUE")
+        try:
+            overrides[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            overrides[key] = raw  # bare strings are allowed
+    return overrides
+
+
+def _cmd_table1(_args, out) -> int:
+    from .suite import table1
+
+    print(table1(), file=out)
+    return 0
+
+
+def _cmd_run(args, out) -> int:
+    from .core import (
+        BenchmarkRunner,
+        Category,
+        Division,
+        Submission,
+        SystemDescription,
+        SystemType,
+        save_submission,
+        score_runs,
+    )
+    from .suite import create_benchmark
+
+    benchmark = create_benchmark(args.benchmark)
+    overrides = _parse_overrides(args.override) or None
+    runner = BenchmarkRunner()
+    runs = []
+    for seed in range(args.seeds):
+        result = runner.run(benchmark, seed=seed, hyperparameter_overrides=overrides)
+        status = "reached" if result.reached_target else "FAILED"
+        print(f"seed {seed}: {status} quality={result.quality:.4f} "
+              f"epochs={result.epochs} ttt={result.time_to_train_s:.3f}s", file=out)
+        runs.append(result)
+
+    exit_code = 0 if all(r.reached_target for r in runs) else 1
+    if args.score:
+        if len(runs) < 3:
+            print("scoring requires at least 3 runs (--seeds 3+)", file=out)
+            return 2
+        score = score_runs(runs)
+        print(f"scored time-to-train (olympic mean): {score.time_to_train_s:.3f}s",
+              file=out)
+
+    if args.save:
+        system = SystemDescription(
+            submitter=args.submitter,
+            system_name=f"{args.submitter}-system",
+            system_type=SystemType.ON_PREMISE,
+            num_nodes=1,
+            processors_per_node=1,
+            processor_type="host-cpu",
+            accelerators_per_node=0,
+            accelerator_type="none",
+            host_memory_gb=8.0,
+            interconnect="none",
+        )
+        submission = Submission(system, Division.CLOSED, Category.RESEARCH)
+        submission.add_runs(benchmark.spec.name, runs)
+        base = save_submission(submission, args.save)
+        print(f"artifacts written to {base}", file=out)
+    return exit_code
+
+
+def _cmd_review(args, out) -> int:
+    from .core import review_directory
+    from .suite import REGISTRY, create_benchmark
+
+    specs = {name: create_benchmark(name).spec for name in REGISTRY}
+    report = review_directory(args.submission_dir, specs)
+    print(report, file=out)
+    return 0 if report.compliant else 1
+
+
+def _cmd_report(args, out) -> int:
+    from .core import build_report, load_submission
+
+    submissions = [load_submission(d) for d in args.submission_dirs]
+    print(build_report(submissions).render(), file=out)
+    return 0
+
+
+def _cmd_hp_table(args, out) -> int:
+    from .core.hp_table import recommendation_table, render_table
+    from .suite import all_specs
+
+    rows = recommendation_table(all_specs(), chip_counts=tuple(args.chips),
+                                precisions=("float32",))
+    print(render_table(rows), file=out)
+    return 0
+
+
+def _cmd_simulate(_args, out) -> int:
+    from .systems import figure4_speedups, figure5_scale_growth
+
+    speedups = figure4_speedups(16)
+    print("Figure 4 — fastest 16-chip entry speedup v0.5 -> v0.6:", file=out)
+    for name, s in speedups.items():
+        print(f"  {name:<26} {s:.2f}x", file=out)
+    print(f"  average: {np.mean(list(speedups.values())):.2f}x", file=out)
+    print(file=out)
+    print("Figure 5 — chips in the fastest overall entry:", file=out)
+    ratios = []
+    for name, (v05, v06) in figure5_scale_growth().items():
+        ratios.append(v06.num_chips / v05.num_chips)
+        print(f"  {name:<26} {v05.num_chips} -> {v06.num_chips} "
+              f"({ratios[-1]:.1f}x)", file=out)
+    print(f"  average: {np.mean(ratios):.1f}x", file=out)
+    return 0
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "run": _cmd_run,
+    "review": _cmd_review,
+    "report": _cmd_report,
+    "hp-table": _cmd_hp_table,
+    "simulate": _cmd_simulate,
+}
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

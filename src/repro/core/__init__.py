@@ -1,0 +1,104 @@
+"""The MLPerf harness — the paper's primary contribution as code.
+
+Structured logging (§4.1), timing rules (§3.2.1), run orchestration,
+result aggregation (§3.2.2), hyperparameter rules and divisions (§4.2.1),
+system categories (§4.2.2), submissions and peer review (§4.1), results
+reporting and the cloud scale metric (§4.2.3-4).
+"""
+
+from .mllog import Keys, LogEvent, MLLogger, parse_log_lines
+from .timing import (
+    Clock,
+    FakeClock,
+    MODEL_CREATION_EXCLUSION_CAP_S,
+    TrainingTimer,
+    WallClock,
+)
+from .runner import BenchmarkRunner, RunResult
+from .results import (
+    BenchmarkScore,
+    REQUIRED_RUNS_BY_AREA,
+    olympic_mean,
+    score_runs,
+)
+from .rules import ALWAYS_MODIFIABLE, RuleViolation, check_hyperparameters
+from .submission import (
+    Category,
+    Division,
+    Submission,
+    SystemDescription,
+    SystemType,
+)
+from .review import ReviewReport, borrow_hyperparameters, review_submission
+from .reporting import (
+    ResultsReport,
+    ResultsRow,
+    SummaryScoreRefused,
+    build_report,
+    summary_score,
+)
+from .rcp import ReferenceConvergencePoints, check_convergence, collect_reference_points
+from .versioning import SpecChange, SuiteVersion, V06_CHANGES, apply_version
+from .artifacts import (
+    check_log_text,
+    load_submission,
+    review_directory,
+    save_submission,
+)
+from .scaling import (
+    ACCELERATOR_WEIGHTS,
+    ScaleReport,
+    cloud_scale,
+    correlation_with_cost,
+    system_cloud_scale,
+)
+
+__all__ = [
+    "ReferenceConvergencePoints",
+    "check_convergence",
+    "collect_reference_points",
+    "SpecChange",
+    "SuiteVersion",
+    "V06_CHANGES",
+    "apply_version",
+    "check_log_text",
+    "load_submission",
+    "review_directory",
+    "save_submission",
+    "Keys",
+    "LogEvent",
+    "MLLogger",
+    "parse_log_lines",
+    "Clock",
+    "FakeClock",
+    "MODEL_CREATION_EXCLUSION_CAP_S",
+    "TrainingTimer",
+    "WallClock",
+    "BenchmarkRunner",
+    "RunResult",
+    "BenchmarkScore",
+    "REQUIRED_RUNS_BY_AREA",
+    "olympic_mean",
+    "score_runs",
+    "ALWAYS_MODIFIABLE",
+    "RuleViolation",
+    "check_hyperparameters",
+    "Category",
+    "Division",
+    "Submission",
+    "SystemDescription",
+    "SystemType",
+    "ReviewReport",
+    "borrow_hyperparameters",
+    "review_submission",
+    "ResultsReport",
+    "ResultsRow",
+    "SummaryScoreRefused",
+    "build_report",
+    "summary_score",
+    "ACCELERATOR_WEIGHTS",
+    "ScaleReport",
+    "cloud_scale",
+    "correlation_with_cost",
+    "system_cloud_scale",
+]

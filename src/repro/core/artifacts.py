@@ -1,0 +1,174 @@
+"""Submission artifacts on disk (§4.1).
+
+"An MLPERF submission consists of system description, training session log
+files, and all code and libraries required to reproduce those training
+sessions. All of these are made publicly available in MLPERF GitHub
+simultaneously with publication of MLPERF results."
+
+This module serializes a :class:`~repro.core.submission.Submission` to the
+directory layout real MLPerf results repositories use, loads it back, and
+offers a text-level compliance entry point so logs can be audited exactly
+as published files:
+
+    <root>/<submitter>/
+      systems/<system_name>.json
+      results/<system_name>/<benchmark>/result_<k>.txt
+      code/README.md              (pointer to the reproduction code)
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from ..suite.base import BenchmarkSpec
+from .mllog import Keys, MLLogger, parse_log_lines
+from .review import ReviewReport, review_submission
+from .runner import RunResult
+from .submission import Category, Division, Submission, SystemDescription, SystemType
+
+__all__ = ["save_submission", "load_submission", "review_directory", "check_log_text"]
+
+
+def save_submission(submission: Submission, root: str | Path) -> Path:
+    """Write the submission's artifacts; returns the submitter directory."""
+    base = Path(root) / submission.system.submitter
+    systems_dir = base / "systems"
+    systems_dir.mkdir(parents=True, exist_ok=True)
+
+    system_payload = asdict(submission.system)
+    system_payload["system_type"] = submission.system.system_type.value
+    meta = {
+        "division": submission.division.value,
+        "category": submission.category.value,
+        "code_url": submission.code_url,
+        "notes": submission.notes,
+        "system": system_payload,
+    }
+    (systems_dir / f"{submission.system.system_name}.json").write_text(
+        json.dumps(meta, indent=2, sort_keys=True)
+    )
+
+    for benchmark, runs in submission.runs.items():
+        bench_dir = base / "results" / submission.system.system_name / benchmark
+        bench_dir.mkdir(parents=True, exist_ok=True)
+        for i, run in enumerate(runs):
+            lines = list(run.log_lines)
+            header = json.dumps(
+                {
+                    "seed": run.seed,
+                    "hyperparameters": _scrub(run.hyperparameters),
+                    "time_to_train_s": run.time_to_train_s,
+                    "epochs": run.epochs,
+                    "quality": run.quality,
+                    "reached_target": run.reached_target,
+                },
+                sort_keys=True,
+            )
+            (bench_dir / f"result_{i}.txt").write_text(
+                f"# repro-run {header}\n" + "\n".join(lines) + "\n"
+            )
+
+    code_dir = base / "code"
+    code_dir.mkdir(exist_ok=True)
+    (code_dir / "README.md").write_text(
+        f"Reproduction code: {submission.code_url or '(this repository)'}\n"
+    )
+    return base
+
+
+def _scrub(hp: dict) -> dict:
+    return {k: (list(v) if isinstance(v, tuple) else v) for k, v in hp.items()}
+
+
+def load_submission(submitter_dir: str | Path) -> Submission:
+    """Reconstruct a submission from its artifact directory."""
+    base = Path(submitter_dir)
+    system_files = sorted((base / "systems").glob("*.json"))
+    if len(system_files) != 1:
+        raise FileNotFoundError(
+            f"expected exactly one system description in {base / 'systems'}, "
+            f"found {len(system_files)}"
+        )
+    meta = json.loads(system_files[0].read_text())
+    system_payload = dict(meta["system"])
+    system_payload["system_type"] = SystemType(system_payload["system_type"])
+    system = SystemDescription(**system_payload)
+    submission = Submission(
+        system=system,
+        division=Division(meta["division"]),
+        category=Category(meta["category"]),
+        code_url=meta.get("code_url", ""),
+        notes=meta.get("notes", ""),
+    )
+
+    results_root = base / "results" / system.system_name
+    if results_root.exists():
+        for bench_dir in sorted(p for p in results_root.iterdir() if p.is_dir()):
+            runs = []
+            for result_file in sorted(bench_dir.glob("result_*.txt")):
+                runs.append(_parse_result_file(bench_dir.name, result_file))
+            if runs:
+                submission.add_runs(bench_dir.name, runs)
+    return submission
+
+
+def _parse_result_file(benchmark: str, path: Path) -> RunResult:
+    text = path.read_text()
+    first, _, rest = text.partition("\n")
+    if not first.startswith("# repro-run "):
+        raise ValueError(f"{path}: missing run header")
+    header = json.loads(first[len("# repro-run "):])
+    log_lines = [line for line in rest.splitlines() if line.strip()]
+    history = [float(e.value) for e in parse_log_lines(rest) if e.key == Keys.EVAL_ACCURACY]
+    return RunResult(
+        benchmark=benchmark,
+        seed=int(header["seed"]),
+        hyperparameters=dict(header["hyperparameters"]),
+        reached_target=bool(header["reached_target"]),
+        quality=float(header["quality"]),
+        epochs=int(header["epochs"]),
+        time_to_train_s=float(header["time_to_train_s"]),
+        quality_history=history,
+        log_lines=log_lines,
+    )
+
+
+def review_directory(submitter_dir: str | Path,
+                     specs: dict[str, BenchmarkSpec]) -> ReviewReport:
+    """Load artifacts from disk and run the full compliance review —
+    auditing the *published files*, exactly as real review does."""
+    return review_submission(load_submission(submitter_dir), specs)
+
+
+def check_log_text(text: str, spec: BenchmarkSpec) -> list[str]:
+    """Lightweight text-level log audit; returns human-readable problems.
+
+    Useful as a pre-submission lint: structure and quality checks without
+    building a full Submission.
+    """
+    problems: list[str] = []
+    events = parse_log_lines(text)
+    if not events:
+        return ["no MLLOG events found"]
+    log = MLLogger(clock=lambda: 0.0)
+    log.events = events
+    for key in (Keys.RUN_START, Keys.RUN_STOP, Keys.EVAL_ACCURACY):
+        if log.first(key) is None:
+            problems.append(f"missing required event: {key}")
+    bench = log.first(Keys.SUBMISSION_BENCHMARK)
+    if bench is None:
+        problems.append("missing submission_benchmark event")
+    elif bench.value != spec.name:
+        problems.append(f"benchmark mismatch: log says {bench.value!r}, expected {spec.name!r}")
+    evals = log.find(Keys.EVAL_ACCURACY)
+    if evals and float(evals[-1].value) < spec.quality_threshold:
+        problems.append(
+            f"final quality {float(evals[-1].value):.4f} below target "
+            f"{spec.quality_threshold}"
+        )
+    times = [e.time_ms for e in events]
+    if any(b < a for a, b in zip(times, times[1:])):
+        problems.append("event timestamps are not monotonically non-decreasing")
+    return problems

@@ -1,0 +1,120 @@
+"""Recommended-hyperparameter tables by system scale (§6 future work).
+
+"Future work includes: ... Producing a table that maps system scale and
+precision to recommended hyperparameters for each benchmark."
+
+This module implements that feature for the mini suite.  Given a benchmark
+spec and a target system scale (chip count), it derives the recommended
+Closed-division-legal configuration:
+
+- global batch = chips × per-chip batch (capped at the workload's rule
+  limit),
+- learning rate via the linear-scaling rule (Goyal et al., cited in §3.4),
+- warmup lengthened with the scale factor (large-batch practice),
+- the optimizer switched to LARS past a batch threshold, where the
+  benchmark allows it (the v0.6 ResNet rule).
+
+Every recommendation is checked against the division rules before being
+returned, so the table never suggests an illegal configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..suite.base import BenchmarkSpec
+from .rules import check_hyperparameters
+from .submission import Division
+
+__all__ = ["HPRecommendation", "recommend_hyperparameters", "recommendation_table"]
+
+# Batch size beyond which plain momentum SGD degrades and LARS is advised
+# (relative to the reference batch).
+LARS_SCALE_THRESHOLD = 8
+
+
+@dataclass(frozen=True)
+class HPRecommendation:
+    """One row of the scale → hyperparameters table."""
+
+    benchmark: str
+    num_chips: int
+    precision: str
+    hyperparameters: dict
+    notes: str
+
+
+def recommend_hyperparameters(
+    spec: BenchmarkSpec,
+    num_chips: int,
+    per_chip_batch: int = 32,
+    precision: str = "float32",
+    max_global_batch: int | None = None,
+) -> HPRecommendation:
+    """Derive a Closed-division-legal configuration for a system scale."""
+    if num_chips < 1:
+        raise ValueError("need at least one chip")
+    defaults = dict(spec.default_hyperparameters)
+    reference_batch = int(defaults["batch_size"])
+
+    global_batch = num_chips * per_chip_batch
+    if max_global_batch is not None:
+        global_batch = min(global_batch, max_global_batch)
+    scale = global_batch / reference_batch
+    hp: dict = {"batch_size": global_batch}
+    notes = []
+
+    if "base_lr" in defaults and scale != 1.0:
+        hp["base_lr"] = float(defaults["base_lr"]) * scale
+        notes.append(f"linear LR scaling x{scale:g}")
+
+    if "warmup_epochs" in defaults and "warmup_epochs" in spec.modifiable_hyperparameters:
+        if scale > 2.0:
+            hp["warmup_epochs"] = int(defaults["warmup_epochs"]) + 1
+            notes.append("extended warmup for large batch")
+
+    if "optimizer" in defaults and "optimizer" in spec.modifiable_hyperparameters:
+        if scale >= LARS_SCALE_THRESHOLD:
+            hp["optimizer"] = "lars"
+            notes.append("LARS past the large-batch threshold")
+
+    merged = spec.resolve_hyperparameters(hp)
+    violations = check_hyperparameters(spec, merged, Division.CLOSED)
+    if violations:
+        raise RuntimeError(
+            f"internal error: recommendation violates Closed rules: {violations}"
+        )
+    return HPRecommendation(
+        benchmark=spec.name,
+        num_chips=num_chips,
+        precision=precision,
+        hyperparameters=hp,
+        notes="; ".join(notes) or "reference configuration",
+    )
+
+
+def recommendation_table(
+    specs: list[BenchmarkSpec],
+    chip_counts: tuple[int, ...] = (1, 4, 16, 64),
+    precisions: tuple[str, ...] = ("float32", "bfloat16"),
+) -> list[HPRecommendation]:
+    """The full §6 table: every (benchmark, scale, precision) combination."""
+    rows = []
+    for spec in specs:
+        for chips in chip_counts:
+            for precision in precisions:
+                rows.append(recommend_hyperparameters(spec, chips, precision=precision))
+    return rows
+
+
+def render_table(rows: list[HPRecommendation]) -> str:
+    """Fixed-width rendering of the recommendation table."""
+    header = f"{'benchmark':<26}{'chips':>6}  {'precision':<10}{'recommended overrides':<48}{'notes'}"
+    lines = [header, "-" * (len(header) + 20)]
+    for row in rows:
+        hp_text = ", ".join(f"{k}={v:g}" if isinstance(v, float) else f"{k}={v}"
+                            for k, v in sorted(row.hyperparameters.items()))
+        lines.append(
+            f"{row.benchmark:<26}{row.num_chips:>6}  {row.precision:<10}{hp_text:<48}{row.notes}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Reference convergence points (RCP): convergence-plausibility review.
+
+An extension of the §4.1 review in the spirit the MLPerf organization
+later adopted: a submission whose runs converge in *far fewer* epochs than
+the reference implementation ever does (across seeds, at comparable batch
+size) is suspect — it likely changed the learning dynamics in a way the
+Closed division forbids, even if every listed hyperparameter looks legal.
+
+The check: record the reference's epochs-to-target distribution over
+seeds; a submission's mean epochs must not fall below
+``tolerance × min(reference epochs)``.  Converging *slower* is always
+acceptable (it only hurts the submitter's score).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .rules import RuleViolation
+from .runner import RunResult
+
+__all__ = ["ReferenceConvergencePoints", "collect_reference_points", "check_convergence"]
+
+
+@dataclass(frozen=True)
+class ReferenceConvergencePoints:
+    """Reference epochs-to-target statistics for one benchmark."""
+
+    benchmark: str
+    batch_size: int
+    epochs: tuple[int, ...]
+
+    @property
+    def min_epochs(self) -> int:
+        return min(self.epochs)
+
+    @property
+    def mean_epochs(self) -> float:
+        return float(np.mean(self.epochs))
+
+
+def collect_reference_points(benchmark, seeds: range | list[int],
+                             runner=None) -> ReferenceConvergencePoints:
+    """Run the reference implementation across seeds to establish RCPs."""
+    from .runner import BenchmarkRunner
+
+    runner = runner or BenchmarkRunner()
+    epochs = []
+    for seed in seeds:
+        result = runner.run(benchmark, seed=seed)
+        if not result.reached_target:
+            raise RuntimeError(
+                f"reference run (seed {seed}) failed to converge; cannot set RCPs"
+            )
+        epochs.append(result.epochs)
+    return ReferenceConvergencePoints(
+        benchmark=benchmark.spec.name,
+        batch_size=int(benchmark.spec.default_hyperparameters["batch_size"]),
+        epochs=tuple(epochs),
+    )
+
+
+def check_convergence(
+    runs: list[RunResult],
+    reference: ReferenceConvergencePoints,
+    tolerance: float = 0.7,
+) -> list[RuleViolation]:
+    """Flag submissions converging implausibly faster than the reference.
+
+    Applies only when the submission ran at the reference batch size
+    (different batch sizes legitimately change epochs-to-target, §2.2.2).
+    """
+    if not runs:
+        return []
+    violations: list[RuleViolation] = []
+    batch_sizes = {r.hyperparameters.get("batch_size") for r in runs}
+    if batch_sizes != {reference.batch_size}:
+        return []  # not comparable; the hyperparameter rules govern instead
+    converged = [r.epochs for r in runs if r.reached_target]
+    if not converged:
+        return []
+    mean_epochs = float(np.mean(converged))
+    floor = tolerance * reference.min_epochs
+    if mean_epochs < floor:
+        violations.append(
+            RuleViolation(
+                reference.benchmark,
+                "convergence_plausibility",
+                f"mean epochs-to-target {mean_epochs:.2f} is below "
+                f"{tolerance:.0%} of the reference minimum "
+                f"({reference.min_epochs}); learning dynamics likely differ "
+                f"from the reference",
+            )
+        )
+    return violations

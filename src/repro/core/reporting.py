@@ -1,0 +1,115 @@
+"""Results reporting (§4.2.4).
+
+"MLPERF results report provides the time to train metric for each
+benchmark in a given submission. While a single summary score ... may be
+desired ... a summary score is not appropriate for MLPERF": there is no
+universally representative weighting across application areas, and systems
+legitimately omit benchmarks.  Accordingly this module renders
+per-benchmark scores only, and :func:`summary_score` exists solely to
+refuse — with the paper's rationale — so the design decision is executable
+and testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .results import BenchmarkScore, score_runs
+from .scaling import ScaleReport, system_cloud_scale
+from .submission import Submission, SystemType
+
+__all__ = ["ResultsRow", "ResultsReport", "build_report", "summary_score", "SummaryScoreRefused"]
+
+
+class SummaryScoreRefused(RuntimeError):
+    """Raised by :func:`summary_score`, by design."""
+
+
+def summary_score(report: "ResultsReport") -> float:
+    """MLPerf does not define a summary score (§4.2.4); this always raises."""
+    raise SummaryScoreRefused(
+        "MLPerf reports per-benchmark time-to-train only: a summary score "
+        "implies a universal weighting across application areas (none exists) "
+        "and becomes meaningless when a system omits benchmarks (§4.2.4)."
+    )
+
+
+@dataclass(frozen=True)
+class ResultsRow:
+    """One (system, benchmark) score with its scale context."""
+
+    submitter: str
+    system_name: str
+    division: str
+    category: str
+    benchmark: str
+    time_to_train_s: float
+    num_runs: int
+    scale: ScaleReport
+
+
+@dataclass
+class ResultsReport:
+    """The published results table for a round."""
+
+    rows: list[ResultsRow] = field(default_factory=list)
+
+    def for_benchmark(self, benchmark: str) -> list[ResultsRow]:
+        return sorted(
+            (r for r in self.rows if r.benchmark == benchmark),
+            key=lambda r: r.time_to_train_s,
+        )
+
+    def fastest(self, benchmark: str) -> ResultsRow | None:
+        ranked = self.for_benchmark(benchmark)
+        return ranked[0] if ranked else None
+
+    def render(self) -> str:
+        header = (
+            f"{'Submitter':<12}{'System':<16}{'Div':<8}{'Benchmark':<26}"
+            f"{'TTT (s)':>10}{'Runs':>6}{'Procs':>7}{'Accels':>7}"
+        )
+        lines = [header, "-" * len(header)]
+        for row in sorted(self.rows, key=lambda r: (r.benchmark, r.time_to_train_s)):
+            lines.append(
+                f"{row.submitter:<12}{row.system_name:<16}{row.division:<8}"
+                f"{row.benchmark:<26}{row.time_to_train_s:>10.3f}{row.num_runs:>6}"
+                f"{row.scale.num_processors:>7}{row.scale.num_accelerators:>7}"
+            )
+        return "\n".join(lines)
+
+
+def build_report(submissions: list[Submission]) -> ResultsReport:
+    """Score every submission's runs and assemble the results table.
+
+    Run-count compliance is review's job (:mod:`repro.core.review`); here
+    the olympic mean just needs enough runs to be defined.  Scale is
+    reported alongside scores (§4.2.3): processor/accelerator counts
+    always, cloud scale for cloud systems.
+    """
+    report = ResultsReport()
+    for sub in submissions:
+        scale = ScaleReport(
+            num_processors=sub.system.total_processors,
+            num_accelerators=sub.system.total_accelerators,
+            cloud_scale=(
+                system_cloud_scale(sub.system)
+                if sub.system.system_type is SystemType.CLOUD
+                else None
+            ),
+        )
+        for benchmark, runs in sorted(sub.runs.items()):
+            score: BenchmarkScore = score_runs(runs)
+            report.rows.append(
+                ResultsRow(
+                    submitter=sub.system.submitter,
+                    system_name=sub.system.system_name,
+                    division=sub.division.value,
+                    category=sub.category.value,
+                    benchmark=benchmark,
+                    time_to_train_s=score.time_to_train_s,
+                    num_runs=score.num_runs,
+                    scale=scale,
+                )
+            )
+    return report

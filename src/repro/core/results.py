@@ -1,0 +1,72 @@
+"""Result aggregation: the §3.2.2 scoring rule.
+
+"Five runs are required for vision tasks ... and for all other tasks, ten
+runs are required ... The fastest and slowest times are dropped, and the
+arithmetic mean of the remaining runs is the result reported by MLPERF."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .runner import RunResult
+
+__all__ = ["olympic_mean", "BenchmarkScore", "score_runs", "REQUIRED_RUNS_BY_AREA"]
+
+# §3.2.2: run counts by task family.
+REQUIRED_RUNS_BY_AREA = {"vision": 5, "language": 10, "commerce": 10, "research": 10}
+
+
+def olympic_mean(values: list[float]) -> float:
+    """Drop the single fastest and slowest values, mean the rest.
+
+    Requires at least 3 values (otherwise nothing remains).  Ties are
+    handled by dropping exactly one instance of the min and one of the max.
+    """
+    arr = sorted(float(v) for v in values)
+    if len(arr) < 3:
+        raise ValueError(f"need at least 3 runs to drop min and max, got {len(arr)}")
+    return float(np.mean(arr[1:-1]))
+
+
+@dataclass(frozen=True)
+class BenchmarkScore:
+    """The reported result for one benchmark from one system."""
+
+    benchmark: str
+    time_to_train_s: float  # the olympic mean
+    num_runs: int
+    run_times_s: tuple[float, ...]
+    dropped_fastest_s: float
+    dropped_slowest_s: float
+    mean_epochs: float
+
+
+def score_runs(runs: list[RunResult], required_runs: int | None = None) -> BenchmarkScore:
+    """Apply the §3.2.2 rule to a set of runs of one benchmark.
+
+    All runs must be of the same benchmark and must have reached the
+    quality target — a run that never converges cannot be scored.
+    """
+    if not runs:
+        raise ValueError("no runs to score")
+    names = {r.benchmark for r in runs}
+    if len(names) != 1:
+        raise ValueError(f"runs span multiple benchmarks: {sorted(names)}")
+    failed = [r.seed for r in runs if not r.reached_target]
+    if failed:
+        raise ValueError(f"runs with seeds {failed} did not reach the quality target")
+    if required_runs is not None and len(runs) != required_runs:
+        raise ValueError(f"benchmark requires exactly {required_runs} runs, got {len(runs)}")
+    times = sorted(r.time_to_train_s for r in runs)
+    return BenchmarkScore(
+        benchmark=runs[0].benchmark,
+        time_to_train_s=olympic_mean(times),
+        num_runs=len(runs),
+        run_times_s=tuple(times),
+        dropped_fastest_s=times[0],
+        dropped_slowest_s=times[-1],
+        mean_epochs=float(np.mean([r.epochs for r in runs])),
+    )

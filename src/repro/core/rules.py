@@ -1,0 +1,99 @@
+"""Hyperparameter and equivalence rules (§3.4, §4.2.1).
+
+"MLPERF rules specify the list of modifiable hyperparameters as well as
+restrictions to their modification. ... to accommodate a wide range of
+training system scales, submissions must be able to adjust the minibatch
+size ... other hyper-parameters, such as the learning rate and
+optimization schedule, may need to be adjusted to match."
+
+Closed-division policy implemented here:
+
+- Only hyperparameters in the benchmark's modifiable list may differ from
+  the reference defaults.
+- ``batch_size`` is always modifiable (the Top500-style scale knob).
+- The learning rate may be scaled with the batch size (the Goyal et al.
+  linear rule the paper cites) — enforced as "base_lr may change only if
+  batch_size changed".
+- Everything else must be *mathematically equivalent* to the reference:
+  equal values for fixed HPs, including the momentum formulation (§2.2.4
+  shows the two formulations are not equivalent under LR schedules).
+
+Open-division policy: any hyperparameters and model, but the dataset and
+quality metric must match the reference (§4.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..suite.base import BenchmarkSpec
+from .submission import Division
+
+__all__ = ["RuleViolation", "check_hyperparameters", "ALWAYS_MODIFIABLE"]
+
+ALWAYS_MODIFIABLE = frozenset({"batch_size"})
+
+
+@dataclass(frozen=True)
+class RuleViolation:
+    """One compliance finding."""
+
+    benchmark: str
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.benchmark}] {self.rule}: {self.message}"
+
+
+def check_hyperparameters(
+    spec: BenchmarkSpec,
+    used: Mapping[str, Any],
+    division: Division,
+) -> list[RuleViolation]:
+    """Check a run's hyperparameters against division policy.
+
+    Returns a list of violations (empty = compliant).
+    """
+    violations: list[RuleViolation] = []
+    defaults = dict(spec.default_hyperparameters)
+
+    unknown = set(used) - set(defaults)
+    if unknown:
+        violations.append(
+            RuleViolation(spec.name, "unknown_hyperparameter",
+                          f"hyperparameters not in the reference: {sorted(unknown)}")
+        )
+
+    if division is Division.OPEN:
+        # Open division: HPs are free; only dataset/metric equivalence is
+        # checked elsewhere.
+        return violations
+
+    modifiable = spec.modifiable_hyperparameters | ALWAYS_MODIFIABLE
+    batch_changed = _differs(used.get("batch_size"), defaults.get("batch_size"))
+    for name, default in defaults.items():
+        if name not in used:
+            continue
+        if _differs(used[name], default):
+            if name in modifiable:
+                continue
+            if name == "base_lr" and batch_changed:
+                # LR scaling with batch size is the sanctioned adjustment.
+                continue
+            violations.append(
+                RuleViolation(
+                    spec.name,
+                    "fixed_hyperparameter_changed",
+                    f"{name} = {used[name]!r} differs from reference {default!r} "
+                    f"and is not in the modifiable list",
+                )
+            )
+    return violations
+
+
+def _differs(a: Any, b: Any) -> bool:
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return list(a) != list(b)
+    return a != b

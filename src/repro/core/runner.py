@@ -1,0 +1,131 @@
+"""Run orchestration: execute a benchmark under the timing rules with logging.
+
+The runner drives one training session through the §3.2.1 phase structure,
+emitting the §4.1 structured log, and stops the clock the moment an
+evaluation meets the quality target.  A :class:`RunResult` carries
+everything later stages (aggregation §3.2.2, review §4.1, reporting §4.2)
+need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..suite.base import Benchmark
+from .mllog import Keys, MLLogger
+from .timing import Clock, TrainingTimer, WallClock, MODEL_CREATION_EXCLUSION_CAP_S
+
+__all__ = ["RunResult", "BenchmarkRunner"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of a single timed training run."""
+
+    benchmark: str
+    seed: int
+    hyperparameters: dict[str, Any]
+    reached_target: bool
+    quality: float
+    epochs: int
+    time_to_train_s: float
+    quality_history: list[float] = field(default_factory=list)
+    log_lines: list[str] = field(default_factory=list)
+
+    @property
+    def epochs_to_target(self) -> int | None:
+        return self.epochs if self.reached_target else None
+
+
+class BenchmarkRunner:
+    """Execute benchmark runs under the timing rules.
+
+    Parameters
+    ----------
+    clock:
+        Time source (real by default; fake in tests).
+    eval_every:
+        Evaluate the quality metric every N epochs ("quality metric
+        evaluated at prescribed intervals", §4.1).
+    """
+
+    def __init__(self, clock: Clock | None = None, eval_every: int = 1,
+                 model_creation_cap_s: float = MODEL_CREATION_EXCLUSION_CAP_S):
+        self.clock = clock or WallClock()
+        self.eval_every = max(int(eval_every), 1)
+        self.model_creation_cap_s = model_creation_cap_s
+
+    def run(
+        self,
+        benchmark: Benchmark,
+        seed: int,
+        hyperparameter_overrides: Mapping[str, Any] | None = None,
+        max_epochs: int | None = None,
+    ) -> RunResult:
+        """One full training session: data prep → init → train-to-target."""
+        spec = benchmark.spec
+        hp = spec.resolve_hyperparameters(hyperparameter_overrides)
+        logger = MLLogger(self.clock)
+        timer = TrainingTimer(self.clock, self.model_creation_cap_s)
+
+        # Untimed data reformatting (idempotent; usually cached).
+        benchmark.prepare_data()
+
+        logger.event(Keys.SUBMISSION_BENCHMARK, spec.name)
+        logger.event(Keys.QUALITY_TARGET, spec.quality_threshold)
+        logger.event(Keys.SEED, seed)
+        logger.hyperparameters(hp)
+
+        timer.init_start()
+        logger.event(Keys.INIT_START)
+        # (System initialization would go here; it is untimed by rule.)
+        timer.init_stop()
+        logger.event(Keys.INIT_STOP)
+
+        timer.model_creation_start()
+        logger.event(Keys.MODEL_CREATION_START)
+        session = benchmark.create_session(seed, hp)
+        timer.model_creation_stop()
+        logger.event(Keys.MODEL_CREATION_STOP)
+
+        timer.run_start()
+        logger.event(Keys.RUN_START)
+
+        cap = max_epochs if max_epochs is not None else spec.max_epochs
+        reached = False
+        quality = float("-inf")
+        history: list[float] = []
+        epochs_run = 0
+        for epoch in range(1, cap + 1):
+            logger.event(Keys.EPOCH_START, epoch, epoch_num=epoch)
+            session.run_epoch(epoch - 1)
+            logger.event(Keys.EPOCH_STOP, epoch, epoch_num=epoch)
+            epochs_run = epoch
+            if epoch % self.eval_every == 0 or epoch == cap:
+                logger.event(Keys.EVAL_START, epoch_num=epoch)
+                quality = float(session.evaluate())
+                history.append(quality)
+                logger.event(
+                    Keys.EVAL_ACCURACY, quality, epoch_num=epoch, **session.eval_details()
+                )
+                logger.event(Keys.EVAL_STOP, epoch_num=epoch)
+                if quality >= spec.quality_threshold:
+                    reached = True
+                    break
+
+        timer.run_stop()
+        logger.event(Keys.RUN_STOP, status="success" if reached else "aborted")
+        logger.event(Keys.TARGET_REACHED, reached)
+
+        return RunResult(
+            benchmark=spec.name,
+            seed=seed,
+            hyperparameters=dict(hp),
+            reached_target=reached,
+            quality=quality,
+            epochs=epochs_run,
+            time_to_train_s=timer.time_to_train(),
+            quality_history=history,
+            log_lines=logger.to_lines(),
+        )

@@ -1,0 +1,83 @@
+"""Scale reporting: the cloud scale metric (§4.2.3).
+
+"For cloud systems, a cloud scale metric was derived from: 1) number of
+host processors, 2) amount of host memory, and 3) number and type of
+accelerators. We empirically verified that cloud scale correlates closely
+with cost across three major cloud providers."
+
+The metric is a weighted sum of those three components, with accelerator
+weights reflecting relative device capability.  The §4.2.3 bench validates
+the correlation claim against synthetic provider price sheets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .submission import SystemDescription, SystemType
+
+__all__ = ["ACCELERATOR_WEIGHTS", "cloud_scale", "correlation_with_cost", "ScaleReport"]
+
+# Relative capability weights by accelerator type (arbitrary units; the
+# ratios, not the absolute values, carry meaning).
+ACCELERATOR_WEIGHTS = {
+    "none": 0.0,
+    "gpu-small": 1.0,
+    "gpu-large": 2.5,
+    "tpu-core": 2.0,
+    "accel-x": 3.0,
+}
+
+_HOST_PROCESSOR_WEIGHT = 0.25
+_HOST_MEMORY_WEIGHT_PER_GB = 0.004
+
+
+def cloud_scale(
+    host_processors: int,
+    host_memory_gb: float,
+    num_accelerators: int,
+    accelerator_type: str,
+) -> float:
+    """The cloud scale metric: weighted host CPUs + memory + accelerators."""
+    try:
+        accel_weight = ACCELERATOR_WEIGHTS[accelerator_type]
+    except KeyError:
+        raise KeyError(
+            f"unknown accelerator type {accelerator_type!r}; "
+            f"known: {sorted(ACCELERATOR_WEIGHTS)}"
+        ) from None
+    return (
+        _HOST_PROCESSOR_WEIGHT * host_processors
+        + _HOST_MEMORY_WEIGHT_PER_GB * host_memory_gb
+        + accel_weight * num_accelerators
+    )
+
+
+def system_cloud_scale(system: SystemDescription) -> float:
+    """Cloud scale of a described system (cloud systems only)."""
+    if system.system_type is not SystemType.CLOUD:
+        raise ValueError("cloud scale is defined for cloud systems only (§4.2.3)")
+    return cloud_scale(
+        system.total_processors,
+        system.host_memory_gb * system.num_nodes,
+        system.total_accelerators,
+        system.accelerator_type,
+    )
+
+
+def correlation_with_cost(scales: list[float], prices: list[float]) -> float:
+    """Pearson correlation between cloud scale and provider price."""
+    if len(scales) != len(prices) or len(scales) < 2:
+        raise ValueError("need two aligned samples at least")
+    return float(np.corrcoef(scales, prices)[0, 1])
+
+
+@dataclass(frozen=True)
+class ScaleReport:
+    """Scale info reported alongside scores (optional in v0.5/v0.6)."""
+
+    num_processors: int
+    num_accelerators: int
+    cloud_scale: float | None = None

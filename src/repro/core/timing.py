@@ -1,0 +1,146 @@
+"""The time-to-train metric and its timing rules (§3.2).
+
+Timing begins "when any training or validation data is touched" and stops
+"when the defined quality target has been achieved on the validation
+dataset".  Excluded from timing (§3.2.1):
+
+- **system initialization** — everything before the init/run boundary;
+- **model creation and initialization** — excludable *up to a cap* ("we
+  allow excluding up to 20 minutes of model creation time"); creation time
+  beyond the cap counts against the submission;
+- **data reformatting** — one-time dataset preparation done before init.
+
+``Clock`` abstracts wall time so the rules are unit-testable with a fake
+clock and usable with real ``time.perf_counter`` in actual runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+__all__ = ["Clock", "WallClock", "FakeClock", "TrainingTimer",
+           "MODEL_CREATION_EXCLUSION_CAP_S"]
+
+# The paper's cap is 20 minutes on datacenter-scale runs.  Our runs are
+# ~10^3 times shorter, so the cap scales likewise: 1.2 seconds.  The *rule*
+# (exclusion capped; overflow is timed) is what we reproduce; the constant
+# is configurable per-timer.
+MODEL_CREATION_EXCLUSION_CAP_S = 1.2
+
+
+class Clock:
+    """Time source; subclasses supply ``now() -> seconds``."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def __call__(self) -> float:
+        return self.now()
+
+
+class WallClock(Clock):
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class FakeClock(Clock):
+    """Deterministic clock for tests: advance explicitly."""
+
+    def __init__(self, start: float = 0.0):
+        self.t = float(start)
+
+    def now(self) -> float:
+        return self.t
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot go back in time")
+        self.t += seconds
+
+
+@dataclass
+class TimingBreakdown:
+    """Every interval the timer observed, for reporting and auditing."""
+
+    init_seconds: float
+    model_creation_seconds: float
+    excluded_model_creation_seconds: float
+    run_seconds: float
+    time_to_train_seconds: float
+
+
+class TrainingTimer:
+    """State machine enforcing the §3.2.1 phase structure.
+
+    Phases must be entered in order::
+
+        init_start -> init_stop -> model_creation_start ->
+        model_creation_stop -> run_start -> ... -> run_stop
+
+    ``time_to_train`` = (run_stop - run_start)
+                        + max(model_creation - cap, 0).
+    """
+
+    _ORDER = ["created", "init", "ready", "model_creation", "armed", "running", "stopped"]
+
+    def __init__(self, clock: Clock, model_creation_cap_s: float = MODEL_CREATION_EXCLUSION_CAP_S):
+        self.clock = clock
+        self.cap = float(model_creation_cap_s)
+        self.state = "created"
+        self._marks: dict[str, float] = {}
+
+    def _advance(self, expected: str, new_state: str, mark: str) -> None:
+        if self.state != expected:
+            raise RuntimeError(
+                f"timing rule violation: {mark} while in state {self.state!r} "
+                f"(expected {expected!r})"
+            )
+        self._marks[mark] = self.clock.now()
+        self.state = new_state
+
+    def init_start(self) -> None:
+        """Begin (untimed) system initialization."""
+        self._advance("created", "init", "init_start")
+
+    def init_stop(self) -> None:
+        self._advance("init", "ready", "init_stop")
+
+    def model_creation_start(self) -> None:
+        """Begin model creation (excludable up to the cap)."""
+        self._advance("ready", "model_creation", "model_creation_start")
+
+    def model_creation_stop(self) -> None:
+        self._advance("model_creation", "armed", "model_creation_stop")
+
+    def run_start(self) -> None:
+        """First touch of training/validation data — timing begins."""
+        self._advance("armed", "running", "run_start")
+
+    def run_stop(self) -> None:
+        """Quality target achieved — timing ends."""
+        self._advance("running", "stopped", "run_stop")
+
+    @property
+    def model_creation_seconds(self) -> float:
+        return self._marks["model_creation_stop"] - self._marks["model_creation_start"]
+
+    def time_to_train(self) -> float:
+        """The scored metric, per the exclusion rules."""
+        if self.state != "stopped":
+            raise RuntimeError("run has not stopped; no time-to-train yet")
+        run = self._marks["run_stop"] - self._marks["run_start"]
+        overflow = max(self.model_creation_seconds - self.cap, 0.0)
+        return run + overflow
+
+    def breakdown(self) -> TimingBreakdown:
+        if self.state != "stopped":
+            raise RuntimeError("run has not stopped; no breakdown yet")
+        creation = self.model_creation_seconds
+        return TimingBreakdown(
+            init_seconds=self._marks["init_stop"] - self._marks["init_start"],
+            model_creation_seconds=creation,
+            excluded_model_creation_seconds=min(creation, self.cap),
+            run_seconds=self._marks["run_stop"] - self._marks["run_start"],
+            time_to_train_seconds=self.time_to_train(),
+        )

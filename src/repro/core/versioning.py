@@ -1,0 +1,120 @@
+"""Suite versioning: the working-group update process (§4, §6).
+
+"Since machine learning is an evolving field, MLPERF established a process
+to maintain and update the benchmark suite over time. For example, MLPERF
+v0.6 round included a number of updates: ResNet-50 benchmark added the use
+of LARS optimizer ...; GNMT model architecture was improved ...; As a
+result of these enhancements target thresholds were increased."
+
+A :class:`SuiteVersion` is an ordered set of :class:`SpecChange` patches
+over the previous round's specs.  Changes are typed (threshold raise,
+newly-modifiable hyperparameter, default-HP change) so the changelog is
+auditable, and applying a version yields new immutable specs — old
+submissions can be re-validated against the round they were made in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..suite.base import BenchmarkSpec
+
+__all__ = ["SpecChange", "SuiteVersion", "V06_CHANGES", "apply_version"]
+
+
+@dataclass(frozen=True)
+class SpecChange:
+    """One typed change to one benchmark's spec."""
+
+    benchmark: str
+    kind: str  # "raise_threshold" | "allow_hyperparameter" | "change_default"
+    description: str
+    new_threshold: float | None = None
+    hyperparameter: str | None = None
+    new_default: Any = None
+
+    def apply(self, spec: BenchmarkSpec) -> BenchmarkSpec:
+        if spec.name != self.benchmark:
+            raise ValueError(f"change targets {self.benchmark!r}, got spec {spec.name!r}")
+        if self.kind == "raise_threshold":
+            if self.new_threshold is None:
+                raise ValueError("raise_threshold requires new_threshold")
+            if self.new_threshold < spec.quality_threshold:
+                raise ValueError(
+                    f"threshold updates may only raise the bar: "
+                    f"{self.new_threshold} < {spec.quality_threshold}"
+                )
+            return dataclasses.replace(spec, quality_threshold=self.new_threshold)
+        if self.kind == "allow_hyperparameter":
+            if self.hyperparameter is None:
+                raise ValueError("allow_hyperparameter requires hyperparameter")
+            if self.hyperparameter not in spec.default_hyperparameters:
+                raise ValueError(f"{self.hyperparameter!r} is not a known hyperparameter")
+            return dataclasses.replace(
+                spec,
+                modifiable_hyperparameters=spec.modifiable_hyperparameters
+                | {self.hyperparameter},
+            )
+        if self.kind == "change_default":
+            if self.hyperparameter is None:
+                raise ValueError("change_default requires hyperparameter")
+            if self.hyperparameter not in spec.default_hyperparameters:
+                raise ValueError(f"{self.hyperparameter!r} is not a known hyperparameter")
+            defaults = dict(spec.default_hyperparameters)
+            defaults[self.hyperparameter] = self.new_default
+            return dataclasses.replace(spec, default_hyperparameters=defaults)
+        raise ValueError(f"unknown change kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class SuiteVersion:
+    """A named round with its rule/spec changes over the previous round."""
+
+    name: str
+    changes: tuple[SpecChange, ...] = field(default_factory=tuple)
+
+    def changelog(self) -> str:
+        lines = [f"Suite version {self.name}:"]
+        for change in self.changes:
+            lines.append(f"  - [{change.benchmark}] {change.description}")
+        return "\n".join(lines)
+
+
+def apply_version(specs: dict[str, BenchmarkSpec], version: SuiteVersion) -> dict[str, BenchmarkSpec]:
+    """Apply a version's changes; unknown benchmarks are an error."""
+    updated = dict(specs)
+    for change in version.changes:
+        if change.benchmark not in updated:
+            raise KeyError(f"change targets unknown benchmark {change.benchmark!r}")
+        updated[change.benchmark] = change.apply(updated[change.benchmark])
+    return updated
+
+
+# The paper's v0.6 updates, expressed against the mini suite's specs.
+V06_CHANGES = SuiteVersion(
+    name="v0.6-mini",
+    changes=(
+        SpecChange(
+            benchmark="image_classification",
+            kind="allow_hyperparameter",
+            hyperparameter="optimizer",
+            description="allow the LARS optimizer for large batch sizes "
+                        "(already modifiable in the mini suite; idempotent)",
+        ),
+        SpecChange(
+            benchmark="image_classification",
+            kind="raise_threshold",
+            new_threshold=0.91,
+            description="raise top-1 target (paper: 74.9% -> 75.9%)",
+        ),
+        SpecChange(
+            benchmark="translation_recurrent",
+            kind="raise_threshold",
+            new_threshold=40.0,
+            description="raise BLEU target after GNMT architecture improvements "
+                        "(paper: 21.8 -> 24.0 Sacre BLEU)",
+        ),
+    ),
+)

@@ -1,0 +1,94 @@
+"""Fractal expansion of interaction datasets (§3.1.5 / Belletti et al. 2019).
+
+"Unfortunately public datasets tend to be orders of magnitude smaller than
+industrial datasets. While MLPERF v0.5 adopted the MovieLens-20M dataset
+... the dataset and benchmark are being updated for v0.7 synthetically,
+while retaining characteristics of the original data (Belletti et al.,
+2019)."
+
+Belletti et al. grow a rating matrix by a self-similar (Kronecker-graph)
+construction: the expanded matrix is approximately the Kronecker product
+of the original with a small seed pattern, which preserves the original's
+degree distributions at a larger scale.  This module implements that
+expansion for implicit-feedback interaction sets:
+
+- each original (user u, item i) interaction spawns interactions between
+  the *blocks* of expanded users {u·ku .. u·ku+ku-1} and expanded items
+  {i·ki .. i·ki+ki-1}, gated by a seed pattern so sparsity is preserved,
+- item popularity skew and user activity skew carry over (tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FractalExpansion", "expand_interactions"]
+
+
+@dataclass(frozen=True)
+class FractalExpansion:
+    """Result of expanding an interaction set."""
+
+    users: np.ndarray
+    items: np.ndarray
+    num_users: int
+    num_items: int
+    user_factor: int
+    item_factor: int
+
+
+def expand_interactions(
+    users: np.ndarray,
+    items: np.ndarray,
+    num_users: int,
+    num_items: int,
+    user_factor: int,
+    item_factor: int,
+    seed_density: float = 0.5,
+    rng: np.random.Generator | None = None,
+) -> FractalExpansion:
+    """Kronecker-style expansion of an implicit-feedback dataset.
+
+    Parameters
+    ----------
+    users, items:
+        Parallel arrays of observed interactions.
+    user_factor, item_factor:
+        Expansion multipliers (the seed-pattern dimensions).
+    seed_density:
+        Fraction of the ``user_factor × item_factor`` seed pattern that is
+        active; controls how much the interaction count grows
+        (≈ ``len(users) * user_factor * item_factor * seed_density``).
+    """
+    if user_factor < 1 or item_factor < 1:
+        raise ValueError("expansion factors must be >= 1")
+    if not 0.0 < seed_density <= 1.0:
+        raise ValueError("seed_density must be in (0, 1]")
+    users = np.asarray(users, dtype=np.int64)
+    items = np.asarray(items, dtype=np.int64)
+    if users.shape != items.shape:
+        raise ValueError("users and items must align")
+    rng = rng or np.random.default_rng(0)
+
+    # Seed pattern: which (user-offset, item-offset) block cells are live.
+    cells = user_factor * item_factor
+    n_live = max(int(round(cells * seed_density)), 1)
+    live = rng.permutation(cells)[:n_live]
+    du = (live // item_factor).astype(np.int64)
+    di = (live % item_factor).astype(np.int64)
+
+    # Kronecker product on the interaction list: every original edge is
+    # replicated at each live offset of the seed pattern.
+    expanded_users = (users[:, None] * user_factor + du[None, :]).reshape(-1)
+    expanded_items = (items[:, None] * item_factor + di[None, :]).reshape(-1)
+
+    return FractalExpansion(
+        users=expanded_users,
+        items=expanded_items,
+        num_users=num_users * user_factor,
+        num_items=num_items * item_factor,
+        user_factor=user_factor,
+        item_factor=item_factor,
+    )

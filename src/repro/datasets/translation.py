@@ -1,0 +1,134 @@
+"""SyntheticTranslation: a compositional stand-in for WMT EN→DE.
+
+The translation benchmarks (§3.1.3) need a corpus whose reference
+translations are deterministic functions of the source (so BLEU against the
+reference is a genuine quality signal), but rich enough that a model must
+learn token mapping, *reordering*, and an agreement phenomenon:
+
+- every source token maps through a fixed bilingual dictionary;
+- the token order of each clause is **reversed** in the target (the classic
+  structured-reordering task that requires attention/recurrence);
+- a clause-final *agreement marker* is appended whose identity depends on
+  the clause length parity (a long-range dependency).
+
+Sentences are one or two clauses joined by a separator token.  Train and
+test sets are disjoint at the sentence level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TranslationConfig", "SyntheticTranslation", "Vocabulary"]
+
+PAD, BOS, EOS, SEP = 0, 1, 2, 3
+N_SPECIAL = 4
+
+
+@dataclass(frozen=True)
+class TranslationConfig:
+    source_vocab: int = 28  # content tokens (excluding specials)
+    clause_min: int = 2
+    clause_max: int = 5
+    two_clause_prob: float = 0.35
+    train_size: int = 1200
+    test_size: int = 200
+    seed: int = 2016
+
+
+class Vocabulary:
+    """Shared token-id space: specials, source tokens, target tokens, markers."""
+
+    def __init__(self, config: TranslationConfig):
+        self.config = config
+        self.pad, self.bos, self.eos, self.sep = PAD, BOS, EOS, SEP
+        self.source_start = N_SPECIAL
+        self.target_start = N_SPECIAL + config.source_vocab
+        self.marker_even = self.target_start + config.source_vocab
+        self.marker_odd = self.marker_even + 1
+        self.size = self.marker_odd + 1
+
+    def map_token(self, source_token: int) -> int:
+        """Bilingual dictionary: source token i -> target token i."""
+        return source_token - self.source_start + self.target_start
+
+
+class SyntheticTranslation:
+    """Deterministic synthetic parallel corpus with disjoint train/test."""
+
+    def __init__(self, config: TranslationConfig = TranslationConfig()):
+        self.config = config
+        self.vocab = Vocabulary(config)
+        rng = np.random.default_rng(config.seed)
+        seen: set[tuple[int, ...]] = set()
+        pairs: list[tuple[list[int], list[int]]] = []
+        target_total = config.train_size + config.test_size
+        while len(pairs) < target_total:
+            src = self._sample_source(rng)
+            key = tuple(src)
+            if key in seen:
+                continue
+            seen.add(key)
+            pairs.append((src, self.translate(src)))
+        self.train_pairs = pairs[: config.train_size]
+        self.test_pairs = pairs[config.train_size :]
+
+    # -- generation ---------------------------------------------------------
+    def _sample_clause(self, rng: np.random.Generator) -> list[int]:
+        cfg = self.config
+        length = int(rng.integers(cfg.clause_min, cfg.clause_max + 1))
+        v = self.vocab
+        return list(rng.integers(v.source_start, v.source_start + cfg.source_vocab, size=length))
+
+    def _sample_source(self, rng: np.random.Generator) -> list[int]:
+        clauses = [self._sample_clause(rng)]
+        if rng.random() < self.config.two_clause_prob:
+            clauses.append(self._sample_clause(rng))
+        out: list[int] = []
+        for i, clause in enumerate(clauses):
+            if i:
+                out.append(SEP)
+            out.extend(clause)
+        return out
+
+    # -- the reference translation function -----------------------------------
+    def translate(self, source: list[int]) -> list[int]:
+        """Deterministic reference translation (see module docstring)."""
+        v = self.vocab
+        clauses: list[list[int]] = [[]]
+        for tok in source:
+            if tok == SEP:
+                clauses.append([])
+            else:
+                clauses[-1].append(tok)
+        out: list[int] = []
+        for i, clause in enumerate(clauses):
+            if i:
+                out.append(SEP)
+            mapped = [v.map_token(t) for t in reversed(clause)]
+            out.extend(mapped)
+            out.append(v.marker_even if len(clause) % 2 == 0 else v.marker_odd)
+        return out
+
+    # -- batching helpers --------------------------------------------------------
+    @staticmethod
+    def pad_batch(sequences: list[list[int]], pad_value: int = PAD,
+                  length: int | None = None) -> np.ndarray:
+        """Right-pad variable-length sequences into an ``(N, T)`` array."""
+        max_len = length or max((len(s) for s in sequences), default=0)
+        out = np.full((len(sequences), max_len), pad_value, dtype=np.int64)
+        for i, seq in enumerate(sequences):
+            out[i, : len(seq)] = seq
+        return out
+
+    def encoder_inputs(self, sources: list[list[int]]) -> np.ndarray:
+        return self.pad_batch(sources)
+
+    def decoder_io(self, targets: list[list[int]]) -> tuple[np.ndarray, np.ndarray]:
+        """Teacher-forcing pairs: ``(BOS + target, target + EOS)``, padded."""
+        inputs = [[BOS] + t for t in targets]
+        outputs = [t + [EOS] for t in targets]
+        max_len = max(len(s) for s in inputs)
+        return self.pad_batch(inputs, length=max_len), self.pad_batch(outputs, length=max_len)

@@ -1,0 +1,210 @@
+"""Convolution and pooling primitives (NCHW layout).
+
+The production path implements convolution with im2col + GEMM — the same
+"algorithmic choice" the paper discusses in §2.2.4 when noting that math
+libraries offer many mathematically-equivalent convolution algorithms.  A
+deliberately naive direct convolution is also provided as the gold-standard
+reference (used in tests and the im2col-vs-naive ablation bench).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "im2col",
+    "col2im",
+    "conv2d",
+    "conv2d_naive",
+    "conv2d_same",
+    "max_pool2d",
+    "avg_pool2d",
+    "global_avg_pool2d",
+]
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int) -> np.ndarray:
+    """Unfold ``(N,C,H,W)`` into ``(N, C*kh*kw, OH*OW)`` patch columns."""
+    n, c, h, w = x.shape
+    oh = (h + 2 * pad - kh) // stride + 1
+    ow = (w + 2 * pad - kw) // stride + 1
+    img = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad))) if pad else x
+    col = np.empty((n, c, kh, kw, oh, ow), dtype=x.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            col[:, :, i, j] = img[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride]
+    return col.reshape(n, c * kh * kw, oh * ow)
+
+
+def col2im(
+    col: np.ndarray, x_shape: tuple[int, ...], kh: int, kw: int, stride: int, pad: int
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: fold patch columns back, accumulating overlaps."""
+    n, c, h, w = x_shape
+    oh = (h + 2 * pad - kh) // stride + 1
+    ow = (w + 2 * pad - kw) // stride + 1
+    col = col.reshape(n, c, kh, kw, oh, ow)
+    img = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=col.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            img[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride] += col[:, :, i, j]
+    return img[:, :, pad : pad + h, pad : pad + w]
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None, stride: int = 1, pad: int = 0) -> Tensor:
+    """2-D convolution (cross-correlation) via im2col + batched GEMM.
+
+    ``x``: ``(N, C, H, W)``; ``weight``: ``(F, C, kh, kw)``; ``bias``: ``(F,)``.
+    """
+    n = x.shape[0]
+    f, c, kh, kw = weight.shape
+    if x.shape[1] != c:
+        raise ValueError(f"input channels {x.shape[1]} != weight channels {c}")
+    oh = (x.shape[2] + 2 * pad - kh) // stride + 1
+    ow = (x.shape[3] + 2 * pad - kw) // stride + 1
+
+    p = oh * ow
+    ck = c * kh * kw
+    col = im2col(x.data, kh, kw, stride, pad)  # (N, CK, P)
+    # Flatten batch and spatial dims into one big GEMM: (N*P, CK) @ (CK, F).
+    col_t = np.ascontiguousarray(col.transpose(0, 2, 1)).reshape(n * p, ck)
+    w2 = weight.data.reshape(f, ck)
+    out_flat = col_t @ w2.T  # (N*P, F)
+    if bias is not None:
+        out_flat = out_flat + bias.data
+    out = out_flat.reshape(n, p, f).transpose(0, 2, 1).reshape(n, f, oh, ow)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(result: Tensor) -> None:
+        g2 = np.ascontiguousarray(
+            result.grad.reshape(n, f, p).transpose(0, 2, 1)
+        ).reshape(n * p, f)
+        if bias is not None:
+            bias._accumulate(g2.sum(axis=0))
+        if weight.requires_grad:
+            weight._accumulate((g2.T @ col_t).reshape(weight.shape))
+        if x.requires_grad:
+            dcol = (g2 @ w2).reshape(n, p, ck).transpose(0, 2, 1)
+            x._accumulate(col2im(dcol, x.shape, kh, kw, stride, pad))
+
+    return Tensor._make(out, parents, backward)
+
+
+def conv2d_naive(x: Tensor, weight: Tensor, bias: Tensor | None = None, stride: int = 1, pad: int = 0) -> Tensor:
+    """Direct convolution with explicit spatial loops.
+
+    Mathematically identical to :func:`conv2d`; orders of magnitude slower.
+    Kept as the easy-to-audit reference implementation and the baseline of
+    the convolution-algorithm ablation.
+    """
+    f, c, kh, kw = weight.shape
+    n = x.shape[0]
+    oh = (x.shape[2] + 2 * pad - kh) // stride + 1
+    ow = (x.shape[3] + 2 * pad - kw) // stride + 1
+    img = np.pad(x.data, ((0, 0), (0, 0), (pad, pad), (pad, pad))) if pad else x.data
+    out = np.zeros((n, f, oh, ow), dtype=x.dtype)
+    for i in range(oh):
+        for j in range(ow):
+            patch = img[:, :, i * stride : i * stride + kh, j * stride : j * stride + kw]
+            out[:, :, i, j] = np.einsum("nchw,fchw->nf", patch, weight.data)
+    if bias is not None:
+        out += bias.data.reshape(1, f, 1, 1)
+    # Reuse the im2col adjoint: the two algorithms share gradients exactly.
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    col = im2col(x.data, kh, kw, stride, pad)
+    w2 = weight.data.reshape(f, -1)
+
+    def backward(result: Tensor) -> None:
+        g = result.grad.reshape(n, f, oh * ow)
+        if bias is not None:
+            bias._accumulate(g.sum(axis=(0, 2)))
+        if weight.requires_grad:
+            weight._accumulate(np.matmul(g, col.transpose(0, 2, 1)).sum(axis=0).reshape(weight.shape))
+        if x.requires_grad:
+            x._accumulate(col2im(np.matmul(w2.T[None], g), x.shape, kh, kw, stride, pad))
+
+    return Tensor._make(out, parents, backward)
+
+
+def conv2d_same(x: Tensor, weight: Tensor, bias: Tensor | None = None, stride: int = 1,
+                convention: str = "tf") -> Tensor:
+    """"SAME" convolution with explicit asymmetric-padding convention.
+
+    §2.2.4: "PyTorch and Tensorflow have different interpretations of
+    asymmetric padding, creating difficulties in porting model weights
+    between frameworks."  When SAME padding needs an odd total (e.g.
+    stride-2 over an even extent), the extra row/column must go somewhere:
+
+    - ``convention="tf"`` pads the extra at the **bottom/right** (the
+      TensorFlow rule);
+    - ``convention="torch_port"`` pads the extra at the **top/left** (what
+      a naive port using symmetric-padding frameworks effectively does).
+
+    The two produce different outputs from identical weights whenever the
+    required padding is asymmetric — the porting pitfall, executable.
+    """
+    if convention not in ("tf", "torch_port"):
+        raise ValueError(f"unknown padding convention {convention!r}")
+    _, _, kh, kw = weight.shape
+    n, c, h, w = x.shape
+    oh = -(-h // stride)  # ceil division: SAME output size
+    ow = -(-w // stride)
+    pad_h = max((oh - 1) * stride + kh - h, 0)
+    pad_w = max((ow - 1) * stride + kw - w, 0)
+    if convention == "tf":
+        pads = ((0, 0), (0, 0), (pad_h // 2, pad_h - pad_h // 2),
+                (pad_w // 2, pad_w - pad_w // 2))
+    else:
+        pads = ((0, 0), (0, 0), (pad_h - pad_h // 2, pad_h // 2),
+                (pad_w - pad_w // 2, pad_w // 2))
+    padded = x.pad(pads)
+    return conv2d(padded, weight, bias, stride=stride, pad=0)
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Max pooling with square windows."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    oh = (h - kernel) // stride + 1
+    ow = (w - kernel) // stride + 1
+    col = im2col(x.data.reshape(n * c, 1, h, w), kernel, kernel, stride, 0)
+    col = col.reshape(n * c, kernel * kernel, oh * ow)
+    arg = col.argmax(axis=1)  # (N*C, OH*OW)
+    out = np.take_along_axis(col, arg[:, None, :], axis=1).reshape(n, c, oh, ow)
+
+    def backward(result: Tensor) -> None:
+        g = result.grad.reshape(n * c, 1, oh * ow)
+        dcol = np.zeros_like(col)
+        np.put_along_axis(dcol, arg[:, None, :], g, axis=1)
+        dx = col2im(dcol, (n * c, 1, h, w), kernel, kernel, stride, 0)
+        x._accumulate(dx.reshape(n, c, h, w))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Average pooling with square windows."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    oh = (h - kernel) // stride + 1
+    ow = (w - kernel) // stride + 1
+    col = im2col(x.data.reshape(n * c, 1, h, w), kernel, kernel, stride, 0)
+    col = col.reshape(n * c, kernel * kernel, oh * ow)
+    out = col.mean(axis=1).reshape(n, c, oh, ow)
+    scale = 1.0 / (kernel * kernel)
+
+    def backward(result: Tensor) -> None:
+        g = result.grad.reshape(n * c, 1, oh * ow)
+        dcol = np.broadcast_to(g * scale, col.shape).astype(col.dtype)
+        dx = col2im(dcol, (n * c, 1, h, w), kernel, kernel, stride, 0)
+        x._accumulate(dx.reshape(n, c, h, w))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Mean over the spatial dims: ``(N,C,H,W) -> (N,C)``."""
+    return x.mean(axis=(2, 3))

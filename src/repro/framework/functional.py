@@ -1,0 +1,195 @@
+"""Stateless differentiable functions built on :class:`~repro.framework.tensor.Tensor`.
+
+Losses and activations used across the benchmark suite.  Everything here is
+expressed either directly as a primitive with a custom adjoint (when that is
+clearly more numerically stable, e.g. ``log_softmax``) or as a composition of
+``Tensor`` primitives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "relu",
+    "sigmoid",
+    "tanh",
+    "gelu",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "nll_loss",
+    "binary_cross_entropy_with_logits",
+    "mse_loss",
+    "smooth_l1_loss",
+    "dropout",
+]
+
+
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation, as in BERT/GPT)."""
+    c = float(np.sqrt(2.0 / np.pi))
+    inner = (x + (x * x * x) * 0.044715) * c
+    return x * (inner.tanh() + 1.0) * 0.5
+
+
+def _logsumexp(data: np.ndarray, axis: int) -> np.ndarray:
+    m = data.max(axis=axis, keepdims=True)
+    return m + np.log(np.exp(data - m).sum(axis=axis, keepdims=True))
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax with a fused adjoint."""
+    result = x.data - _logsumexp(x.data, axis)
+
+    def backward(out: Tensor) -> None:
+        softmax_vals = np.exp(out.data)
+        g = out.grad
+        x._accumulate(g - softmax_vals * g.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(result, (x,), backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    result = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(out: Tensor) -> None:
+        s, g = out.data, out.grad
+        x._accumulate(s * (g - (g * s).sum(axis=axis, keepdims=True)))
+
+    return Tensor._make(result, (x,), backward)
+
+
+def nll_loss(
+    log_probs: Tensor,
+    targets: np.ndarray,
+    *,
+    ignore_index: int | None = None,
+    reduction: str = "mean",
+) -> Tensor:
+    """Negative log-likelihood over class-index targets.
+
+    ``log_probs`` has shape ``(N, C)`` (flatten sequence dims first); entries
+    whose target equals ``ignore_index`` contribute nothing to loss or count.
+    """
+    targets = np.asarray(targets).reshape(-1)
+    n = targets.shape[0]
+    if log_probs.ndim != 2 or log_probs.shape[0] != n:
+        raise ValueError(f"log_probs shape {log_probs.shape} incompatible with {n} targets")
+    if ignore_index is not None:
+        valid = targets != ignore_index
+    else:
+        valid = np.ones(n, dtype=bool)
+    count = max(int(valid.sum()), 1)
+    safe_targets = np.where(valid, targets, 0)
+    picked = log_probs.data[np.arange(n), safe_targets] * valid
+    if reduction == "mean":
+        value = -picked.sum() / count
+        scale = 1.0 / count
+    elif reduction == "sum":
+        value = -picked.sum()
+        scale = 1.0
+    else:
+        raise ValueError(f"unknown reduction {reduction!r}")
+
+    def backward(out: Tensor) -> None:
+        grad = np.zeros_like(log_probs.data)
+        grad[np.arange(n), safe_targets] = -(valid.astype(grad.dtype)) * scale * out.grad
+        log_probs._accumulate(grad)
+
+    return Tensor._make(np.asarray(value, dtype=log_probs.dtype), (log_probs,), backward)
+
+
+def cross_entropy(
+    logits: Tensor,
+    targets: np.ndarray,
+    *,
+    ignore_index: int | None = None,
+    label_smoothing: float = 0.0,
+    reduction: str = "mean",
+) -> Tensor:
+    """Softmax cross-entropy over class-index targets with optional smoothing."""
+    logp = log_softmax(logits, axis=-1)
+    flat = logp.reshape(-1, logits.shape[-1])
+    hard = nll_loss(flat, targets, ignore_index=ignore_index, reduction=reduction)
+    if label_smoothing <= 0.0:
+        return hard
+    # Smooth term: uniform distribution over classes.
+    targets_flat = np.asarray(targets).reshape(-1)
+    valid = (
+        targets_flat != ignore_index if ignore_index is not None else np.ones_like(targets_flat, bool)
+    )
+    count = max(int(valid.sum()), 1)
+    mask = Tensor(valid.astype(logits.dtype)[:, None])
+    uniform = -(flat * mask).sum() * (1.0 / (count * logits.shape[-1]))
+    return hard * (1.0 - label_smoothing) + uniform * label_smoothing
+
+
+def binary_cross_entropy_with_logits(
+    logits: Tensor, targets: np.ndarray, *, weight: np.ndarray | None = None, reduction: str = "mean"
+) -> Tensor:
+    """Stable BCE on logits: ``max(x,0) - x*t + log(1+exp(-|x|))``."""
+    targets = np.asarray(targets, dtype=logits.dtype)
+    x = logits.data
+    loss_data = np.maximum(x, 0) - x * targets + np.log1p(np.exp(-np.abs(x)))
+    if weight is not None:
+        loss_data = loss_data * weight
+
+    def backward(out: Tensor) -> None:
+        sig = 1.0 / (1.0 + np.exp(-x))
+        grad = (sig - targets)
+        if weight is not None:
+            grad = grad * weight
+        if reduction == "mean":
+            grad = grad / x.size
+        logits._accumulate(grad * out.grad)
+
+    if reduction == "mean":
+        value = loss_data.mean()
+    elif reduction == "sum":
+        value = loss_data.sum()
+    else:
+        raise ValueError(f"unknown reduction {reduction!r}")
+    return Tensor._make(np.asarray(value, dtype=logits.dtype), (logits,), backward)
+
+
+def mse_loss(pred: Tensor, target: np.ndarray, reduction: str = "mean") -> Tensor:
+    diff = pred - Tensor(np.asarray(target, dtype=pred.dtype))
+    sq = diff * diff
+    return sq.mean() if reduction == "mean" else sq.sum()
+
+
+def smooth_l1_loss(pred: Tensor, target: np.ndarray, beta: float = 1.0, reduction: str = "mean") -> Tensor:
+    """Huber-style loss used by detection box-regression heads."""
+    target = np.asarray(target, dtype=pred.dtype)
+    diff = pred - Tensor(target)
+    absd = diff.abs()
+    quadratic = (diff * diff) * (0.5 / beta)
+    linear = absd - 0.5 * beta
+    loss = Tensor.where(absd.data < beta, quadratic, linear)
+    return loss.mean() if reduction == "mean" else loss.sum()
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout: identity when not training or ``p == 0``."""
+    if not training or p <= 0.0:
+        return x
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep).astype(x.dtype) / keep
+    return x * Tensor(mask)

@@ -1,0 +1,193 @@
+"""Standard neural-network layers.
+
+Each layer takes an explicit ``np.random.Generator`` at construction so that
+parameter initialization is reproducible — the Closed division (§4.2.1)
+requires identical initialization across submissions, and Figures 2/3 vary
+*only* the seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .conv import avg_pool2d, conv2d, global_avg_pool2d, max_pool2d
+from .functional import dropout
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = [
+    "Linear",
+    "Conv2d",
+    "BatchNorm2d",
+    "BatchNorm1d",
+    "LayerNorm",
+    "Embedding",
+    "Dropout",
+    "ReLU",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+]
+
+
+class Linear(Module):
+    """Affine map ``y = x W^T + b``."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator, bias: bool = True,
+                 init_fn=init.kaiming_uniform):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init_fn((out_features, in_features), rng))
+        self.bias = Parameter(init.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Conv2d(Module):
+    """2-D convolution layer (square kernels)."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 rng: np.random.Generator, stride: int = 1, padding: int = 0, bias: bool = True):
+        super().__init__()
+        self.stride = stride
+        self.padding = padding
+        shape = (out_channels, in_channels, kernel_size, kernel_size)
+        self.weight = Parameter(init.kaiming_normal(shape, rng))
+        self.bias = Parameter(init.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return conv2d(x, self.weight, self.bias, stride=self.stride, pad=self.padding)
+
+
+class _BatchNorm(Module):
+    """Shared batch-norm machinery (axes differ between 1d/2d)."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Parameter(init.ones(num_features))
+        self.beta = Parameter(init.zeros(num_features))
+        self.running_mean = np.zeros(num_features, dtype=np.float32)
+        self.running_var = np.ones(num_features, dtype=np.float32)
+
+    def _normalize(self, x: Tensor, axes: tuple[int, ...], shape: tuple[int, ...]) -> Tensor:
+        if self.training:
+            mean = x.mean(axis=axes, keepdims=True)
+            var = x.var(axis=axes, keepdims=True)
+            # The moving-average decay here is itself a hyperparameter the
+            # paper lists as an example of layer-level HPs (§2.1).
+            m = self.momentum
+            self.running_mean = (1 - m) * self.running_mean + m * mean.data.reshape(-1)
+            self.running_var = (1 - m) * self.running_var + m * var.data.reshape(-1)
+        else:
+            mean = Tensor(self.running_mean.reshape(shape))
+            var = Tensor(self.running_var.reshape(shape))
+        xhat = (x - mean) / (var + self.eps).sqrt()
+        return xhat * self.gamma.reshape(shape) + self.beta.reshape(shape)
+
+
+class BatchNorm2d(_BatchNorm):
+    """Batch normalization over (N, H, W) for each channel of NCHW input."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        c = x.shape[1]
+        return self._normalize(x, axes=(0, 2, 3), shape=(1, c, 1, 1))
+
+
+class BatchNorm1d(_BatchNorm):
+    """Batch normalization over the batch axis of (N, C) input."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        c = x.shape[1]
+        return self._normalize(x, axes=(0,), shape=(1, c))
+
+
+class LayerNorm(Module):
+    """Layer normalization over the trailing feature axis."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5):
+        super().__init__()
+        self.eps = eps
+        self.gamma = Parameter(init.ones(num_features))
+        self.beta = Parameter(init.zeros(num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        xhat = (x - mean) / (var + self.eps).sqrt()
+        return xhat * self.gamma + self.beta
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense rows.
+
+    The paper singles recommendation workloads out as "large embedding
+    tables followed by linear layers" (§3.1.5); this layer is their core.
+    """
+
+    def __init__(self, num_embeddings: int, dim: int, rng: np.random.Generator, std: float = 0.05):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Parameter(init.normal((num_embeddings, dim), rng, std=std))
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        ids = np.asarray(ids)
+        if ids.min(initial=0) < 0 or (ids.size and ids.max() >= self.num_embeddings):
+            raise IndexError(f"embedding ids out of range [0, {self.num_embeddings})")
+        return self.weight.take_rows(ids)
+
+
+class Dropout(Module):
+    def __init__(self, p: float, rng: np.random.Generator):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0,1), got {p}")
+        self.p = p
+        self.rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        return dropout(x, self.p, self.rng, training=self.training)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel: int, stride: int | None = None):
+        super().__init__()
+        self.kernel = kernel
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return max_pool2d(x, self.kernel, self.stride)
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel: int, stride: int | None = None):
+        super().__init__()
+        self.kernel = kernel
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return avg_pool2d(x, self.kernel, self.stride)
+
+
+class GlobalAvgPool2d(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return global_avg_pool2d(x)
+
+
+class Flatten(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)

@@ -1,0 +1,117 @@
+"""Learning-rate schedules.
+
+Schedules are pure functions of the step/epoch index attached to an
+optimizer via :class:`LRScheduler`.  The set covers the schedules the paper's
+workloads rely on: linear warmup + step decay (ResNet), inverse-square-root
+warmup (Transformer), and cosine decay.  The *linear batch-size scaling*
+helper implements the Goyal et al. rule the paper cites in §3.4.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .optim import Optimizer
+
+__all__ = [
+    "LRScheduler",
+    "ConstantLR",
+    "StepDecayLR",
+    "WarmupStepLR",
+    "CosineLR",
+    "NoamLR",
+    "linear_scaled_lr",
+]
+
+
+def linear_scaled_lr(base_lr: float, batch_size: int, base_batch_size: int) -> float:
+    """Goyal et al. linear-scaling rule: lr grows with minibatch size."""
+    if batch_size <= 0 or base_batch_size <= 0:
+        raise ValueError("batch sizes must be positive")
+    return base_lr * batch_size / base_batch_size
+
+
+class LRScheduler:
+    """Base: subclasses define ``lr_at(step)``; ``step()`` advances and applies."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.current_step = 0
+        optimizer.lr = self.lr_at(0)
+
+    def lr_at(self, step: int) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        self.current_step += 1
+        self.optimizer.lr = self.lr_at(self.current_step)
+        return self.optimizer.lr
+
+
+class ConstantLR(LRScheduler):
+    def __init__(self, optimizer: Optimizer, lr: float):
+        self.lr = float(lr)
+        super().__init__(optimizer)
+
+    def lr_at(self, step: int) -> float:
+        return self.lr
+
+
+class StepDecayLR(LRScheduler):
+    """Multiply the LR by ``gamma`` at each milestone step."""
+
+    def __init__(self, optimizer: Optimizer, base_lr: float, milestones: list[int], gamma: float = 0.1):
+        self.base_lr = float(base_lr)
+        self.milestones = sorted(milestones)
+        self.gamma = float(gamma)
+        super().__init__(optimizer)
+
+    def lr_at(self, step: int) -> float:
+        drops = sum(1 for m in self.milestones if step >= m)
+        return self.base_lr * (self.gamma**drops)
+
+
+class WarmupStepLR(LRScheduler):
+    """Linear warmup to ``base_lr`` then step decay — the ResNet schedule."""
+
+    def __init__(self, optimizer: Optimizer, base_lr: float, warmup_steps: int,
+                 milestones: list[int], gamma: float = 0.1):
+        self.base_lr = float(base_lr)
+        self.warmup_steps = int(warmup_steps)
+        self.milestones = sorted(milestones)
+        self.gamma = float(gamma)
+        super().__init__(optimizer)
+
+    def lr_at(self, step: int) -> float:
+        if self.warmup_steps > 0 and step < self.warmup_steps:
+            return self.base_lr * (step + 1) / self.warmup_steps
+        drops = sum(1 for m in self.milestones if step >= m)
+        return self.base_lr * (self.gamma**drops)
+
+
+class CosineLR(LRScheduler):
+    """Cosine decay from ``base_lr`` to ``min_lr`` over ``total_steps``."""
+
+    def __init__(self, optimizer: Optimizer, base_lr: float, total_steps: int, min_lr: float = 0.0):
+        self.base_lr = float(base_lr)
+        self.total_steps = max(int(total_steps), 1)
+        self.min_lr = float(min_lr)
+        super().__init__(optimizer)
+
+    def lr_at(self, step: int) -> float:
+        progress = min(step / self.total_steps, 1.0)
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1 + math.cos(math.pi * progress))
+
+
+class NoamLR(LRScheduler):
+    """The Transformer schedule: ``d_model^-0.5 * min(s^-0.5, s*warmup^-1.5)``."""
+
+    def __init__(self, optimizer: Optimizer, d_model: int, warmup_steps: int, scale: float = 1.0):
+        self.d_model = int(d_model)
+        self.warmup_steps = max(int(warmup_steps), 1)
+        self.scale = float(scale)
+        super().__init__(optimizer)
+
+    def lr_at(self, step: int) -> float:
+        s = max(step, 1)
+        return self.scale * self.d_model**-0.5 * min(s**-0.5, s * self.warmup_steps**-1.5)

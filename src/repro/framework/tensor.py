@@ -1,0 +1,544 @@
+"""Reverse-mode automatic differentiation on NumPy arrays.
+
+This module is the numerical heart of the framework substrate: a ``Tensor``
+wraps an ``np.ndarray`` and records the operations applied to it so that
+:meth:`Tensor.backward` can propagate gradients through arbitrary compositions
+of the primitives defined here.
+
+The design follows the classic tape-based approach: every differentiable
+operation returns a new ``Tensor`` whose ``_backward`` closure knows how to
+accumulate gradients into the operation's inputs, and ``backward`` walks the
+graph in reverse topological order.  All heavy lifting is vectorized NumPy;
+there are no per-element Python loops on hot paths.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager disabling graph construction (for eval loops)."""
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._prev = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._prev
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record gradient information."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing NumPy broadcasting.
+
+    Broadcasting may both prepend axes and stretch length-1 axes; the adjoint
+    of a broadcast is a sum over the broadcasted axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum away prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were stretched from 1.
+    axes = tuple(i for i, (g, s) in enumerate(zip(grad.shape, shape)) if s == 1 and g != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value, dtype=None) -> np.ndarray:
+    if isinstance(value, Tensor):
+        raise TypeError("expected raw data, got Tensor")
+    if (
+        dtype is None
+        and isinstance(value, (int, float))
+        and not isinstance(value, (bool, np.generic))
+    ):
+        # Python scalars coerce to float32 so that a scalar operand never
+        # silently promotes a float32 network to float64 (0-d float64
+        # arrays are not "weak" under NumPy promotion rules).  Mixing with
+        # float64 tensors still promotes correctly to float64.
+        return np.asarray(value, dtype=np.float32)
+    arr = np.asarray(value, dtype=dtype)
+    if arr.dtype.kind in "iub" and dtype is None:
+        arr = arr.astype(np.float32)
+    return arr
+
+
+class Tensor:
+    """A NumPy-backed array with reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload.  Integer input is promoted to ``float32``.
+    requires_grad:
+        Whether gradients should be accumulated into this tensor.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
+    __array_priority__ = 100  # make ndarray defer to Tensor in mixed ops
+
+    def __init__(self, data, requires_grad: bool = False, name: str | None = None):
+        self.data = data if isinstance(data, np.ndarray) else _as_array(data)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._backward: Callable[[], None] | None = None
+        self._prev: tuple[Tensor, ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({self.data!r}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared, not copied)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[["Tensor"], None] | None,
+    ) -> "Tensor":
+        """Create a result tensor wired into the autodiff graph."""
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires and backward is not None:
+            out._prev = tuple(parents)
+            out._backward = lambda: backward(out)
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into ``self.grad`` (lazily allocated)."""
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = grad.astype(self.data.dtype, copy=True)
+        else:
+            self.grad += grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor.
+
+        ``grad`` defaults to ones (i.e. the tensor is treated as a sum of its
+        elements); for scalar losses this is the conventional seed of 1.0.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() on a tensor that does not require grad")
+        if grad is None:
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=self.data.dtype)
+            if grad.shape != self.data.shape:
+                raise ValueError(f"seed gradient shape {grad.shape} != tensor shape {self.data.shape}")
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._prev:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self.grad = grad.copy() if self.grad is None else self.grad + grad
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward()
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce(other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    @staticmethod
+    def _is_scalar(value) -> bool:
+        # Pure Python scalars only: NumPy scalars (np.float64 subclasses
+        # float) are strongly typed and would change promotion semantics.
+        return isinstance(value, (int, float)) and not isinstance(value, (bool, np.generic))
+
+    def __add__(self, other) -> "Tensor":
+        if Tensor._is_scalar(other):
+            # Scalar fast path: NumPy weak promotion keeps the tensor dtype
+            # (no silent float64 upcast) and full scalar precision.
+            def backward_s(out: Tensor) -> None:
+                self._accumulate(out.grad)
+
+            return Tensor._make(self.data + other, (self,), backward_s)
+        other = Tensor._coerce(other)
+
+        def backward(out: Tensor) -> None:
+            self._accumulate(_unbroadcast(out.grad, self.shape))
+            other._accumulate(_unbroadcast(out.grad, other.shape))
+
+        return Tensor._make(self.data + other.data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(out: Tensor) -> None:
+            self._accumulate(-out.grad)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        if Tensor._is_scalar(other):
+            return self + (-other)
+        return self + (-Tensor._coerce(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        if Tensor._is_scalar(other):
+            return (-self) + other
+        return Tensor._coerce(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        if Tensor._is_scalar(other):
+            def backward_s(out: Tensor) -> None:
+                self._accumulate(out.grad * other)
+
+            return Tensor._make(self.data * other, (self,), backward_s)
+        other = Tensor._coerce(other)
+
+        def backward(out: Tensor) -> None:
+            self._accumulate(_unbroadcast(out.grad * other.data, self.shape))
+            other._accumulate(_unbroadcast(out.grad * self.data, other.shape))
+
+        return Tensor._make(self.data * other.data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        if Tensor._is_scalar(other):
+            return self * (1.0 / other)
+        other = Tensor._coerce(other)
+
+        def backward(out: Tensor) -> None:
+            self._accumulate(_unbroadcast(out.grad / other.data, self.shape))
+            other._accumulate(
+                _unbroadcast(-out.grad * self.data / (other.data * other.data), other.shape)
+            )
+
+        return Tensor._make(self.data / other.data, (self, other), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        if Tensor._is_scalar(other):
+            inv = self ** -1.0
+            return inv * other
+        return Tensor._coerce(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+
+        def backward(out: Tensor) -> None:
+            self._accumulate(out.grad * exponent * np.power(self.data, exponent - 1))
+
+        return Tensor._make(np.power(self.data, exponent), (self,), backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = Tensor._coerce(other)
+
+        def backward(out: Tensor) -> None:
+            a, b, g = self.data, other.data, out.grad
+            if a.ndim == 1 and b.ndim == 1:  # dot product -> scalar
+                self._accumulate(g * b)
+                other._accumulate(g * a)
+                return
+            if a.ndim == 1:
+                a2 = a[None, :]
+                ga = (g[None, ...] if g.ndim == b.ndim - 1 else g) @ np.swapaxes(b, -1, -2)
+                self._accumulate(_unbroadcast(ga, a2.shape).reshape(a.shape))
+                gb = np.swapaxes(a2, -1, -2) @ (g[None, ...] if g.ndim == b.ndim - 1 else g)
+                other._accumulate(_unbroadcast(gb, b.shape))
+                return
+            if b.ndim == 1:
+                b2 = b[:, None]
+                g2 = g[..., None]
+                self._accumulate(_unbroadcast(g2 @ np.swapaxes(b2, -1, -2), a.shape))
+                gb = np.swapaxes(a, -1, -2) @ g2
+                other._accumulate(_unbroadcast(gb, b2.shape).reshape(b.shape))
+                return
+            self._accumulate(_unbroadcast(g @ np.swapaxes(b, -1, -2), a.shape))
+            other._accumulate(_unbroadcast(np.swapaxes(a, -1, -2) @ g, b.shape))
+
+        return Tensor._make(self.data @ other.data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # Elementwise nonlinearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        result = np.exp(self.data)
+
+        def backward(out: Tensor) -> None:
+            self._accumulate(out.grad * out.data)
+
+        return Tensor._make(result, (self,), backward)
+
+    def log(self) -> "Tensor":
+        def backward(out: Tensor) -> None:
+            self._accumulate(out.grad / self.data)
+
+        return Tensor._make(np.log(self.data), (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        result = np.sqrt(self.data)
+
+        def backward(out: Tensor) -> None:
+            self._accumulate(out.grad * 0.5 / out.data)
+
+        return Tensor._make(result, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        result = np.tanh(self.data)
+
+        def backward(out: Tensor) -> None:
+            self._accumulate(out.grad * (1.0 - out.data * out.data))
+
+        return Tensor._make(result, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        # Numerically stable in both tails.
+        result = np.where(
+            self.data >= 0,
+            1.0 / (1.0 + np.exp(-np.clip(self.data, 0, None))),
+            np.exp(np.clip(self.data, None, 0)) / (1.0 + np.exp(np.clip(self.data, None, 0))),
+        )
+
+        def backward(out: Tensor) -> None:
+            self._accumulate(out.grad * out.data * (1.0 - out.data))
+
+        return Tensor._make(result, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+
+        def backward(out: Tensor) -> None:
+            self._accumulate(out.grad * mask)
+
+        return Tensor._make(self.data * mask, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+
+        def backward(out: Tensor) -> None:
+            self._accumulate(out.grad * sign)
+
+        return Tensor._make(np.abs(self.data), (self,), backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        mask = (self.data > low) & (self.data < high)
+
+        def backward(out: Tensor) -> None:
+            self._accumulate(out.grad * mask)
+
+        return Tensor._make(np.clip(self.data, low, high), (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        def backward(out: Tensor) -> None:
+            grad = out.grad
+            if axis is not None and not keepdims:
+                axes = (axis,) if np.isscalar(axis) else tuple(axis)
+                axes = tuple(a % self.ndim for a in axes)
+                grad = np.expand_dims(grad, tuple(sorted(axes)))
+            self._accumulate(np.broadcast_to(grad, self.shape).copy())
+
+        return Tensor._make(self.data.sum(axis=axis, keepdims=keepdims), (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            axes = (axis,) if np.isscalar(axis) else tuple(axis)
+            count = int(np.prod([self.shape[a % self.ndim] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        result = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(out: Tensor) -> None:
+            expanded = result if keepdims or axis is None else np.expand_dims(
+                result, axis if np.isscalar(axis) else tuple(axis)
+            )
+            mask = (self.data == expanded).astype(self.data.dtype)
+            mask /= mask.sum(axis=axis, keepdims=True)  # split ties evenly
+            grad = out.grad
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis if np.isscalar(axis) else tuple(axis))
+            self._accumulate(mask * grad)
+
+        return Tensor._make(result, (self,), backward)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        centered = self - self.mean(axis=axis, keepdims=True)
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+
+        def backward(out: Tensor) -> None:
+            self._accumulate(out.grad.reshape(self.shape))
+
+        return Tensor._make(self.data.reshape(shape), (self,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        axes = axes or tuple(reversed(range(self.ndim)))
+        inverse = tuple(np.argsort(axes))
+
+        def backward(out: Tensor) -> None:
+            self._accumulate(out.grad.transpose(inverse))
+
+        return Tensor._make(self.data.transpose(axes), (self,), backward)
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        axes = list(range(self.ndim))
+        axes[a], axes[b] = axes[b], axes[a]
+        return self.transpose(tuple(axes))
+
+    def __getitem__(self, index) -> "Tensor":
+        def backward(out: Tensor) -> None:
+            grad = np.zeros_like(self.data)
+            np.add.at(grad, index, out.grad)
+            self._accumulate(grad)
+
+        return Tensor._make(self.data[index], (self,), backward)
+
+    def pad(self, pad_width) -> "Tensor":
+        """Zero-pad; ``pad_width`` as for :func:`np.pad`."""
+        widths = tuple(tuple(w) for w in pad_width)
+
+        def backward(out: Tensor) -> None:
+            slices = tuple(
+                slice(before, dim + before) for (before, _), dim in zip(widths, self.shape)
+            )
+            self._accumulate(out.grad[slices])
+
+        return Tensor._make(np.pad(self.data, widths), (self,), backward)
+
+    @staticmethod
+    def concat(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._coerce(t) for t in tensors]
+        sizes = [t.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(out: Tensor) -> None:
+            for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                index = [slice(None)] * out.ndim
+                index[axis] = slice(start, stop)
+                t._accumulate(out.grad[tuple(index)])
+
+        return Tensor._make(
+            np.concatenate([t.data for t in tensors], axis=axis), tensors, backward
+        )
+
+    @staticmethod
+    def stack(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._coerce(t) for t in tensors]
+
+        def backward(out: Tensor) -> None:
+            grads = np.moveaxis(out.grad, axis, 0)
+            for t, g in zip(tensors, grads):
+                t._accumulate(g)
+
+        return Tensor._make(np.stack([t.data for t in tensors], axis=axis), tensors, backward)
+
+    @staticmethod
+    def where(condition: np.ndarray, a: "Tensor", b: "Tensor") -> "Tensor":
+        a, b = Tensor._coerce(a), Tensor._coerce(b)
+        condition = np.asarray(condition)
+
+        def backward(out: Tensor) -> None:
+            a._accumulate(_unbroadcast(out.grad * condition, a.shape))
+            b._accumulate(_unbroadcast(out.grad * (~condition), b.shape))
+
+        return Tensor._make(np.where(condition, a.data, b.data), (a, b), backward)
+
+    # ------------------------------------------------------------------
+    # Gather / scatter (for embeddings)
+    # ------------------------------------------------------------------
+    def take_rows(self, indices: np.ndarray) -> "Tensor":
+        """Row gather: ``out[i...] = self[indices[i...]]`` along axis 0.
+
+        The adjoint scatters (with accumulation on duplicate indices), which
+        is exactly the gradient of an embedding lookup.
+        """
+        indices = np.asarray(indices)
+
+        def backward(out: Tensor) -> None:
+            grad = np.zeros_like(self.data)
+            np.add.at(grad, indices.reshape(-1), out.grad.reshape(-1, *self.shape[1:]))
+            self._accumulate(grad)
+
+        return Tensor._make(self.data[indices], (self,), backward)

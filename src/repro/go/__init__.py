@@ -1,0 +1,27 @@
+"""Go game substrate for the MiniGo reinforcement-learning benchmark."""
+
+from .board import BLACK, EMPTY, WHITE, GoBoard
+from .mcts import MCTS, MCTSConfig
+from .reference_player import HeuristicPlayer, ReferenceGame, generate_reference_games
+from .selfplay import SelfPlayExample, play_selfplay_game, selfplay_batch
+from .pro import DEFAULT_KOMI, ProConfig, generate_pro_games, pro_reference_games, train_pro_network
+
+__all__ = [
+    "BLACK",
+    "EMPTY",
+    "WHITE",
+    "GoBoard",
+    "MCTS",
+    "MCTSConfig",
+    "HeuristicPlayer",
+    "ReferenceGame",
+    "generate_reference_games",
+    "SelfPlayExample",
+    "play_selfplay_game",
+    "selfplay_batch",
+    "DEFAULT_KOMI",
+    "ProConfig",
+    "generate_pro_games",
+    "pro_reference_games",
+    "train_pro_network",
+]

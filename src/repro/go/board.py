@@ -1,0 +1,211 @@
+"""Go board rules: captures, suicide, positional superko, area scoring.
+
+The MiniGo benchmark (§3.1.4) generates its training data by self-play
+rather than from a fixed dataset, which requires a full game engine.  This
+is a complete small-board Go implementation:
+
+- stones and captures with breadth-first group/liberty computation,
+- the suicide rule (self-capture moves are illegal),
+- positional superko (a move may not recreate any previous whole-board
+  position, which also forbids simple ko),
+- two consecutive passes end the game,
+- Tromp-Taylor area scoring with komi.
+
+Boards are immutable from the caller's perspective: :meth:`play` returns a
+new ``GoBoard``, which keeps MCTS tree code simple and bug-resistant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GoBoard", "EMPTY", "BLACK", "WHITE"]
+
+EMPTY, BLACK, WHITE = 0, 1, 2
+
+
+def _opponent(color: int) -> int:
+    return BLACK + WHITE - color
+
+
+class GoBoard:
+    """Immutable Go position.  Moves are flat indices; ``size*size`` = pass."""
+
+    def __init__(self, size: int = 5, komi: float = 0.5):
+        if size < 2:
+            raise ValueError("board size must be at least 2")
+        self.size = size
+        self.komi = komi
+        self.board = np.zeros((size, size), dtype=np.int8)
+        self.to_play = BLACK
+        self.passes = 0
+        self.move_count = 0
+        self.last_move: int | None = None
+        self._history: frozenset[bytes] = frozenset([self.board.tobytes()])
+
+    # -- basic helpers --------------------------------------------------------
+    @property
+    def pass_move(self) -> int:
+        return self.size * self.size
+
+    @property
+    def num_moves(self) -> int:
+        """Size of the move space including pass."""
+        return self.size * self.size + 1
+
+    def to_coord(self, move: int) -> tuple[int, int]:
+        return divmod(move, self.size)
+
+    def _neighbors(self, y: int, x: int):
+        if y > 0:
+            yield y - 1, x
+        if y < self.size - 1:
+            yield y + 1, x
+        if x > 0:
+            yield y, x - 1
+        if x < self.size - 1:
+            yield y, x + 1
+
+    def _group_and_liberties(self, y: int, x: int, grid: np.ndarray) -> tuple[set, set]:
+        """BFS the group containing (y, x); returns (stones, liberties)."""
+        color = grid[y, x]
+        stones = {(y, x)}
+        liberties: set[tuple[int, int]] = set()
+        frontier = [(y, x)]
+        while frontier:
+            cy, cx = frontier.pop()
+            for ny, nx in self._neighbors(cy, cx):
+                v = grid[ny, nx]
+                if v == EMPTY:
+                    liberties.add((ny, nx))
+                elif v == color and (ny, nx) not in stones:
+                    stones.add((ny, nx))
+                    frontier.append((ny, nx))
+        return stones, liberties
+
+    # -- move application -----------------------------------------------------
+    def _apply_stone(self, move: int) -> np.ndarray | None:
+        """Resulting grid after playing ``move``, or None if illegal
+        (occupied or suicide).  Superko is checked by the caller."""
+        y, x = self.to_coord(move)
+        if self.board[y, x] != EMPTY:
+            return None
+        grid = self.board.copy()
+        color = self.to_play
+        grid[y, x] = color
+        opponent = _opponent(color)
+        # Remove captured opponent groups.
+        for ny, nx in self._neighbors(y, x):
+            if grid[ny, nx] == opponent:
+                stones, libs = self._group_and_liberties(ny, nx, grid)
+                if not libs:
+                    for sy, sx in stones:
+                        grid[sy, sx] = EMPTY
+        # Suicide check on own group.
+        _, libs = self._group_and_liberties(y, x, grid)
+        if not libs:
+            return None
+        return grid
+
+    def is_legal(self, move: int) -> bool:
+        if self.is_over:
+            return False
+        if move == self.pass_move:
+            return True
+        if not 0 <= move < self.pass_move:
+            return False
+        grid = self._apply_stone(move)
+        if grid is None:
+            return False
+        return grid.tobytes() not in self._history
+
+    def legal_moves(self) -> list[int]:
+        """All legal moves including pass."""
+        moves = [m for m in range(self.pass_move) if self.is_legal(m)]
+        moves.append(self.pass_move)
+        return moves
+
+    def play(self, move: int) -> "GoBoard":
+        """Return the position after ``move``; raises on illegal moves."""
+        if self.is_over:
+            raise ValueError("game is over")
+        child = GoBoard.__new__(GoBoard)
+        child.size = self.size
+        child.komi = self.komi
+        child.move_count = self.move_count + 1
+        child.last_move = move
+        child.to_play = _opponent(self.to_play)
+        if move == self.pass_move:
+            child.board = self.board.copy()
+            child.passes = self.passes + 1
+            child._history = self._history
+            return child
+        grid = self._apply_stone(move)
+        if grid is None:
+            raise ValueError(f"illegal move {move} (occupied or suicide)")
+        key = grid.tobytes()
+        if key in self._history:
+            raise ValueError(f"illegal move {move} (superko)")
+        child.board = grid
+        child.passes = 0
+        child._history = self._history | {key}
+        return child
+
+    # -- game end & scoring ---------------------------------------------------
+    @property
+    def is_over(self) -> bool:
+        return self.passes >= 2 or self.move_count >= 4 * self.size * self.size
+
+    def score(self) -> float:
+        """Tromp-Taylor area score from Black's perspective (minus komi).
+
+        Empty regions count for a color iff they touch only that color.
+        """
+        grid = self.board
+        black = float((grid == BLACK).sum())
+        white = float((grid == WHITE).sum())
+        visited = np.zeros_like(grid, dtype=bool)
+        for y in range(self.size):
+            for x in range(self.size):
+                if grid[y, x] != EMPTY or visited[y, x]:
+                    continue
+                region = {(y, x)}
+                frontier = [(y, x)]
+                borders = set()
+                while frontier:
+                    cy, cx = frontier.pop()
+                    visited[cy, cx] = True
+                    for ny, nx in self._neighbors(cy, cx):
+                        v = grid[ny, nx]
+                        if v == EMPTY and (ny, nx) not in region:
+                            region.add((ny, nx))
+                            frontier.append((ny, nx))
+                        elif v != EMPTY:
+                            borders.add(int(v))
+                if borders == {BLACK}:
+                    black += len(region)
+                elif borders == {WHITE}:
+                    white += len(region)
+        return black - white - self.komi
+
+    def winner(self) -> int:
+        """BLACK or WHITE by area score (komi breaks ties)."""
+        return BLACK if self.score() > 0 else WHITE
+
+    def result_for(self, color: int) -> float:
+        """+1 if ``color`` wins, -1 otherwise."""
+        return 1.0 if self.winner() == color else -1.0
+
+    # -- features ----------------------------------------------------------------
+    def feature_planes(self) -> np.ndarray:
+        """Network input ``(3, size, size)``: own stones, opponent stones,
+        a constant plane encoding the side to move (1 = black)."""
+        own = (self.board == self.to_play).astype(np.float32)
+        opp = (self.board == _opponent(self.to_play)).astype(np.float32)
+        turn = np.full_like(own, 1.0 if self.to_play == BLACK else 0.0)
+        return np.stack([own, opp, turn])
+
+    def __repr__(self) -> str:
+        symbols = {EMPTY: ".", BLACK: "X", WHITE: "O"}
+        rows = ["".join(symbols[int(v)] for v in row) for row in self.board]
+        return "\n".join(rows) + f"\nto_play={'B' if self.to_play == BLACK else 'W'}"

@@ -1,0 +1,116 @@
+"""A fixed heuristic Go player standing in for "human reference games".
+
+The MiniGo quality metric is "the percentage of predicted moves that match
+human reference games" (§3.1.4, Table 1).  We have no human games, so a
+deterministic heuristic player of moderate strength generates the
+reference corpus: its games are reproducible (seeded), non-trivial (it
+captures, defends, and values territory), and *learnable* (its policy is a
+deterministic function of the position, so a network can approach high
+agreement — analogous to predicting professional moves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .board import BLACK, EMPTY, GoBoard
+
+__all__ = ["HeuristicPlayer", "ReferenceGame", "generate_reference_games"]
+
+
+class HeuristicPlayer:
+    """1-ply heuristic player: greedy over a hand-crafted move score.
+
+    The score rewards captures, escaping atari, liberties of the placed
+    stone's group, central position, and adjacency to opponent groups with
+    few liberties.  Ties break deterministically by move index, and a small
+    seeded jitter (optional) diversifies openings across games.
+    """
+
+    def __init__(self, jitter: float = 0.0, rng: np.random.Generator | None = None):
+        self.jitter = jitter
+        self.rng = rng or np.random.default_rng(0)
+
+    def score_move(self, board: GoBoard, move: int) -> float:
+        if move == board.pass_move:
+            # Pass only when nothing else has positive value.
+            return -1.0
+        child = board.play(move)
+        captured = int((board.board != EMPTY).sum()) + 1 - int((child.board != EMPTY).sum())
+        y, x = board.to_coord(move)
+        own_stones, own_libs = child._group_and_liberties(y, x, child.board)
+        center = (board.size - 1) / 2.0
+        centrality = -(abs(y - center) + abs(x - center)) / board.size
+        # Pressure: opponent neighbours in atari after our move.
+        pressure = 0.0
+        opponent = child.board[y, x] % 2 + 1  # opponent of the stone just placed
+        seen: set[tuple[int, int]] = set()
+        for ny, nx in child._neighbors(y, x):
+            if child.board[ny, nx] == opponent and (ny, nx) not in seen:
+                stones, libs = child._group_and_liberties(ny, nx, child.board)
+                seen |= stones
+                if len(libs) == 1:
+                    pressure += 2.0
+        return (
+            6.0 * captured
+            + 0.8 * min(len(own_libs), 4)
+            + 0.4 * len(own_stones)
+            + 1.0 * centrality
+            + pressure
+        )
+
+    def select_move(self, board: GoBoard) -> int:
+        moves = board.legal_moves()
+        best_move, best_score = board.pass_move, -np.inf
+        for move in moves:
+            score = self.score_move(board, move)
+            if self.jitter:
+                score += self.rng.normal(0, self.jitter)
+            if score > best_score:
+                best_score, best_move = score, move
+        return best_move
+
+
+@dataclass
+class ReferenceGame:
+    """A recorded game: the positions seen and the moves the player chose."""
+
+    positions: list[np.ndarray]  # feature planes per move
+    moves: list[int]
+
+
+def generate_reference_games(
+    num_games: int,
+    board_size: int = 5,
+    seed: int = 0,
+    opening_moves: int = 2,
+    jitter: float = 0.15,
+) -> list[ReferenceGame]:
+    """Play ``num_games`` heuristic self-play games with randomized openings.
+
+    The first ``opening_moves`` plies are random legal moves (seeded), after
+    which the deterministic heuristic takes over — giving position diversity
+    while keeping the move policy learnable.
+    """
+    rng = np.random.default_rng(seed)
+    games: list[ReferenceGame] = []
+    for _ in range(num_games):
+        player = HeuristicPlayer(jitter=jitter, rng=np.random.default_rng(rng.integers(2**31)))
+        board = GoBoard(board_size)
+        positions: list[np.ndarray] = []
+        moves: list[int] = []
+        ply = 0
+        while not board.is_over:
+            if ply < opening_moves:
+                stone_moves = [m for m in board.legal_moves() if m != board.pass_move]
+                move = int(rng.choice(stone_moves)) if stone_moves else board.pass_move
+            else:
+                move = player.select_move(board)
+                positions.append(board.feature_planes())
+                moves.append(move)
+            board = board.play(move)
+            ply += 1
+        games.append(ReferenceGame(positions=positions, moves=moves))
+    return games

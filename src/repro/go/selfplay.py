@@ -1,0 +1,74 @@
+"""Self-play data generation for the reinforcement-learning benchmark.
+
+§3.1.4: MiniGo "uses self-play (simulated games) between agents to
+generate data, which performs many forward passes through the model to
+generate actions".  Each self-play game records, per move, the position's
+feature planes, the MCTS visit distribution (the policy target), and the
+eventual game outcome from the mover's perspective (the value target).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .board import GoBoard
+from .mcts import MCTS, MCTSConfig
+
+__all__ = ["SelfPlayExample", "play_selfplay_game", "selfplay_batch"]
+
+
+@dataclass
+class SelfPlayExample:
+    """One training example from self-play."""
+
+    planes: np.ndarray  # (3, size, size)
+    policy: np.ndarray  # (size*size + 1,) visit distribution
+    value: float  # game outcome for the side to move at this position
+
+
+def play_selfplay_game(
+    network,
+    board_size: int,
+    rng: np.random.Generator,
+    mcts_config: MCTSConfig = MCTSConfig(),
+    temperature_moves: int = 6,
+    komi: float = 0.5,
+) -> list[SelfPlayExample]:
+    """Play one self-play game; return its training examples.
+
+    Early moves sample from the visit distribution (temperature 1) for
+    diversity; later moves play the max-visit move.
+    """
+    mcts = MCTS(network.evaluate, mcts_config, rng=rng)
+    board = GoBoard(board_size, komi=komi)
+    trajectory: list[tuple[np.ndarray, np.ndarray, int]] = []  # planes, policy, color
+    while not board.is_over:
+        policy = mcts.search(board)
+        trajectory.append((board.feature_planes(), policy, board.to_play))
+        if board.move_count < temperature_moves:
+            move = int(rng.choice(len(policy), p=policy))
+        else:
+            move = int(policy.argmax())
+        board = board.play(move)
+    winner = board.winner()
+    return [
+        SelfPlayExample(planes=planes, policy=policy, value=1.0 if color == winner else -1.0)
+        for planes, policy, color in trajectory
+    ]
+
+
+def selfplay_batch(
+    network,
+    num_games: int,
+    board_size: int,
+    rng: np.random.Generator,
+    mcts_config: MCTSConfig = MCTSConfig(),
+    komi: float = 0.5,
+) -> list[SelfPlayExample]:
+    """Generate examples from ``num_games`` self-play games."""
+    examples: list[SelfPlayExample] = []
+    for _ in range(num_games):
+        examples.extend(play_selfplay_game(network, board_size, rng, mcts_config, komi=komi))
+    return examples

@@ -1,0 +1,47 @@
+"""Classification quality metrics (image classification, MiniGo move match)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["top_k_accuracy", "top1_accuracy", "move_match_rate"]
+
+
+def top_k_accuracy(scores: np.ndarray, labels: np.ndarray, k: int = 1) -> float:
+    """Fraction of rows whose true label is among the ``k`` highest scores.
+
+    ``scores``: ``(N, C)`` logits or probabilities; ``labels``: ``(N,)`` ints.
+    """
+    scores = np.asarray(scores)
+    labels = np.asarray(labels)
+    if scores.ndim != 2:
+        raise ValueError(f"scores must be 2-D, got shape {scores.shape}")
+    if labels.shape != (scores.shape[0],):
+        raise ValueError("labels must be (N,) matching scores")
+    if not 1 <= k <= scores.shape[1]:
+        raise ValueError(f"k={k} out of range for {scores.shape[1]} classes")
+    if scores.shape[0] == 0:
+        return 0.0
+    topk = np.argpartition(-scores, k - 1, axis=1)[:, :k]
+    hits = (topk == labels[:, None]).any(axis=1)
+    return float(hits.mean())
+
+
+def top1_accuracy(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy — the ResNet/ImageNet quality metric (Table 1)."""
+    return top_k_accuracy(scores, labels, k=1)
+
+
+def move_match_rate(predicted: np.ndarray, reference: np.ndarray) -> float:
+    """Fraction of predicted moves matching reference-game moves.
+
+    The MiniGo quality metric (Table 1): "percentage of predicted moves that
+    match human reference games".
+    """
+    predicted = np.asarray(predicted)
+    reference = np.asarray(reference)
+    if predicted.shape != reference.shape:
+        raise ValueError("predicted and reference move arrays must align")
+    if predicted.size == 0:
+        return 0.0
+    return float((predicted == reference).mean())

@@ -1,0 +1,72 @@
+"""Ranking metrics for the recommendation benchmark: HR@K and NDCG@K.
+
+NCF is evaluated with the leave-one-out protocol (He et al., 2017): for each
+user, the held-out positive item is ranked against a set of sampled
+negatives; HR@K is the fraction of users whose positive lands in the top K.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["hit_rate_at_k", "ndcg_at_k", "leave_one_out_eval"]
+
+
+def _rank_of_first_item(scores: np.ndarray) -> int:
+    """Rank (0-based) of item 0 among all items, by descending score.
+
+    Ties are broken pessimistically (tied items count as ranked above),
+    which avoids rewarding degenerate constant scorers.
+    """
+    return int((scores[1:] >= scores[0]).sum())
+
+
+def hit_rate_at_k(score_lists: list[np.ndarray], k: int = 10) -> float:
+    """HR@K where, in each row, index 0 is the positive item.
+
+    The NCF quality metric (Table 1: "0.635 HR@10").
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if not score_lists:
+        return 0.0
+    hits = sum(_rank_of_first_item(np.asarray(s)) < k for s in score_lists)
+    return hits / len(score_lists)
+
+
+def ndcg_at_k(score_lists: list[np.ndarray], k: int = 10) -> float:
+    """NDCG@K with a single relevant item at index 0 per row."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if not score_lists:
+        return 0.0
+    total = 0.0
+    for s in score_lists:
+        rank = _rank_of_first_item(np.asarray(s))
+        if rank < k:
+            total += 1.0 / np.log2(rank + 2)
+    return total / len(score_lists)
+
+
+def leave_one_out_eval(
+    score_fn,
+    positives: np.ndarray,
+    negatives: np.ndarray,
+    users: np.ndarray,
+    k: int = 10,
+) -> tuple[float, float]:
+    """Run leave-one-out evaluation and return ``(HR@K, NDCG@K)``.
+
+    ``score_fn(user_ids, item_ids) -> scores`` is called once over all
+    (user, candidate) pairs; ``positives[u]`` is each user's held-out item
+    and ``negatives[u]`` their sampled negative items.
+    """
+    n_users = len(users)
+    n_neg = negatives.shape[1]
+    user_col = np.repeat(users, n_neg + 1)
+    item_col = np.concatenate(
+        [np.concatenate([[positives[i]], negatives[i]]) for i in range(n_users)]
+    )
+    scores = np.asarray(score_fn(user_col, item_col)).reshape(n_users, n_neg + 1)
+    rows = [scores[i] for i in range(n_users)]
+    return hit_rate_at_k(rows, k), ndcg_at_k(rows, k)

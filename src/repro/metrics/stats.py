@@ -1,0 +1,72 @@
+"""Run-to-run statistics used by the variance studies (§2.2.3, §3.2.2).
+
+The MLPerf *scoring* rule itself (drop fastest/slowest, mean the rest) lives
+in :mod:`repro.core.results`; this module provides the descriptive statistics
+the paper uses to justify that rule — dispersion of repeated runs and the
+"fraction of entries within x% of each other" criterion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RunDispersion", "dispersion", "fraction_within", "epochs_to_target_histogram"]
+
+
+@dataclass(frozen=True)
+class RunDispersion:
+    """Summary of repeated measurements of the same benchmark/system."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    coefficient_of_variation: float
+    spread_ratio: float  # max / min
+
+
+def dispersion(values: list[float] | np.ndarray) -> RunDispersion:
+    """Descriptive dispersion statistics of repeated run results."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("need at least one value")
+    mean = float(arr.mean())
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    return RunDispersion(
+        n=int(arr.size),
+        mean=mean,
+        std=std,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        coefficient_of_variation=std / mean if mean else float("inf"),
+        spread_ratio=float(arr.max() / arr.min()) if arr.min() > 0 else float("inf"),
+    )
+
+
+def fraction_within(values: list[float] | np.ndarray, tolerance: float) -> float:
+    """Fraction of values within ``tolerance`` (relative) of the median.
+
+    §3.2.2 chose run counts so that "90% of entries from the same system
+    were within 5%" (vision) or 10% (other tasks); this implements that
+    criterion.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("need at least one value")
+    center = float(np.median(arr))
+    if center == 0:
+        return float(np.mean(arr == 0))
+    return float(np.mean(np.abs(arr - center) / abs(center) <= tolerance))
+
+
+def epochs_to_target_histogram(epochs: list[int], bins: int | None = None) -> dict[int, int]:
+    """Histogram of epochs-to-target across seeds (the Figure 2 data)."""
+    if not epochs:
+        return {}
+    counts: dict[int, int] = {}
+    for e in epochs:
+        counts[int(e)] = counts.get(int(e), 0) + 1
+    return dict(sorted(counts.items()))

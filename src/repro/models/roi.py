@@ -1,0 +1,78 @@
+"""RoIAlign: differentiable region-of-interest feature extraction.
+
+§3.1.2 lists "ROIalign" among the layer types that distinguish detection
+and segmentation workloads from classification.  This is the bilinear-
+sampling RoIAlign of He et al. (2017): each output bin samples the feature
+map at its center with bilinear interpolation.  The implementation is
+expressed entirely with fancy-indexing ``Tensor`` primitives, so gradients
+flow to the feature map without bespoke adjoint code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..framework import Tensor
+
+__all__ = ["roi_align"]
+
+
+def roi_align(
+    features: Tensor,
+    boxes: np.ndarray,
+    batch_indices: np.ndarray,
+    output_size: int,
+    spatial_scale: float,
+) -> Tensor:
+    """Extract ``(K, C, S, S)`` aligned features for ``K`` boxes.
+
+    Parameters
+    ----------
+    features: ``(N, C, H, W)`` feature map.
+    boxes: ``(K, 4)`` xyxy boxes in *image* coordinates.
+    batch_indices: ``(K,)`` image index of each box.
+    output_size: output bins per side (``S``).
+    spatial_scale: feature-map stride reciprocal (e.g. 0.25 for stride 4).
+    """
+    boxes = np.asarray(boxes, dtype=np.float64)
+    batch_indices = np.asarray(batch_indices, dtype=np.int64)
+    k = len(boxes)
+    _, c, h, w = features.shape
+    s = output_size
+    if k == 0:
+        return Tensor(np.zeros((0, c, s, s), dtype=np.float32))
+
+    # Bin-center sample coordinates in feature space, one per output bin.
+    x1, y1, x2, y2 = (boxes[:, i] * spatial_scale for i in range(4))
+    bin_w = (x2 - x1) / s
+    bin_h = (y2 - y1) / s
+    grid = np.arange(s) + 0.5
+    xs = x1[:, None] + bin_w[:, None] * grid[None, :]  # (K, S)
+    ys = y1[:, None] + bin_h[:, None] * grid[None, :]
+    # Broadcast to full (K, S, S) grids; shift to pixel-center convention.
+    sample_x = np.broadcast_to(xs[:, None, :], (k, s, s)) - 0.5
+    sample_y = np.broadcast_to(ys[:, :, None], (k, s, s)) - 0.5
+
+    x0 = np.clip(np.floor(sample_x), 0, w - 1).astype(np.int64)
+    y0 = np.clip(np.floor(sample_y), 0, h - 1).astype(np.int64)
+    x1i = np.clip(x0 + 1, 0, w - 1)
+    y1i = np.clip(y0 + 1, 0, h - 1)
+    fx = np.clip(sample_x - x0, 0.0, 1.0).astype(np.float32)
+    fy = np.clip(sample_y - y0, 0.0, 1.0).astype(np.float32)
+
+    b = np.broadcast_to(batch_indices[:, None, None], (k, s, s))
+
+    # Gather the four corners: advanced indexing puts (K,S,S) first,
+    # channel axis last -> (K, S, S, C).
+    v00 = features[b, :, y0, x0]
+    v01 = features[b, :, y0, x1i]
+    v10 = features[b, :, y1i, x0]
+    v11 = features[b, :, y1i, x1i]
+
+    w00 = Tensor(((1 - fy) * (1 - fx))[..., None])
+    w01 = Tensor(((1 - fy) * fx)[..., None])
+    w10 = Tensor((fy * (1 - fx))[..., None])
+    w11 = Tensor((fy * fx)[..., None])
+
+    out = v00 * w00 + v01 * w01 + v10 * w10 + v11 * w11  # (K, S, S, C)
+    return out.transpose(0, 3, 1, 2)

@@ -1,0 +1,6 @@
+"""Emulated reduced-precision numerics (the Figure 1 substrate)."""
+
+from .formats import NumericFormat, available_formats, get_format
+from .quantize import QuantizedWeights
+
+__all__ = ["NumericFormat", "available_formats", "get_format", "QuantizedWeights"]

@@ -1,0 +1,134 @@
+"""Emulated numeric formats for reduced-precision training studies.
+
+Figure 1 of the paper (from Zhu et al., 2016) shows validation-error curves
+of the *same* model trained with different weight representations: the
+curves only separate after tens of epochs, and some formats never reach the
+full-precision error.  That behaviour is driven by quantization of the
+*values* stored in the weights, which is what these formats emulate:
+
+- ``float32`` — identity (the full-precision baseline),
+- ``bfloat16`` / ``float16`` — mantissa truncation to 7 / 10 bits (we
+  emulate significand rounding, not the exponent-range limits, which do not
+  matter at our parameter scales),
+- ``fixed<b>`` — signed fixed-point with ``b`` total bits and a per-tensor
+  dynamic scale (a common integer-training scheme),
+- ``ternary`` — {-s, 0, +s} with a magnitude threshold (trained ternary
+  quantization, the format that fails to converge in Figure 1).
+
+Formats quantize a tensor *out-of-place*; the quantized-training hook in
+:mod:`repro.numerics.quantize` decides where in the loop to apply them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["NumericFormat", "get_format", "available_formats"]
+
+
+@dataclass(frozen=True)
+class NumericFormat:
+    """A named value-quantization function."""
+
+    name: str
+    bits: int  # informational: storage bits per value
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class _Float32(NumericFormat):
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        return values.astype(np.float32)
+
+
+class _MantissaRounded(NumericFormat):
+    """Round the significand to ``mantissa_bits`` bits (round-to-nearest).
+
+    Works by scaling each value so its exponent is normalized, rounding,
+    and scaling back — a standard software emulation of low-precision
+    floating point that preserves the exponent.
+    """
+
+    def __init__(self, name: str, bits: int, mantissa_bits: int):
+        super().__init__(name, bits)
+        object.__setattr__(self, "mantissa_bits", mantissa_bits)
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float32)
+        out = np.zeros_like(values)
+        nonzero = values != 0
+        if not nonzero.any():
+            return out
+        v = values[nonzero].astype(np.float64)
+        exponent = np.floor(np.log2(np.abs(v)))
+        scale = 2.0 ** (self.mantissa_bits - exponent)
+        out[nonzero] = (np.round(v * scale) / scale).astype(np.float32)
+        return out
+
+
+class _FixedPoint(NumericFormat):
+    """Signed fixed point with per-tensor dynamic scaling.
+
+    The tensor is scaled so its max magnitude maps to the largest
+    representable integer, rounded, and de-scaled: ``b`` bits give
+    ``2^(b-1) - 1`` positive levels.
+    """
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float32)
+        levels = 2 ** (self.bits - 1) - 1
+        max_abs = float(np.abs(values).max(initial=0.0))
+        if max_abs == 0:
+            return np.zeros_like(values)
+        # Scale in float64: for subnormal inputs the scale factor exceeds
+        # the float32 range and would overflow to inf.
+        scale = levels / max_abs
+        v = values.astype(np.float64)
+        return (np.round(v * scale) / scale).astype(np.float32)
+
+
+class _Ternary(NumericFormat):
+    """Trained-ternary-style quantization: {-s, 0, +s}.
+
+    Threshold at ``0.05 * max|w|`` (the heuristic of Li & Liu, 2016); the
+    magnitude ``s`` is the mean absolute value of the surviving weights,
+    which minimizes L2 error given the support.
+    """
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float32)
+        max_abs = float(np.abs(values).max(initial=0.0))
+        if max_abs == 0:
+            return np.zeros_like(values)
+        threshold = 0.05 * max_abs
+        mask = np.abs(values) > threshold
+        if not mask.any():
+            return np.zeros_like(values)
+        magnitude = float(np.abs(values[mask]).mean())
+        return (np.sign(values) * mask * magnitude).astype(np.float32)
+
+
+_FORMATS: dict[str, NumericFormat] = {
+    "float32": _Float32("float32", 32),
+    "bfloat16": _MantissaRounded("bfloat16", 16, mantissa_bits=7),
+    "float16": _MantissaRounded("float16", 16, mantissa_bits=10),
+    "fixed8": _FixedPoint("fixed8", 8),
+    "fixed6": _FixedPoint("fixed6", 6),
+    "fixed4": _FixedPoint("fixed4", 4),
+    "ternary": _Ternary("ternary", 2),
+}
+
+
+def get_format(name: str) -> NumericFormat:
+    """Look up a numeric format by name."""
+    try:
+        return _FORMATS[name]
+    except KeyError:
+        raise KeyError(f"unknown numeric format {name!r}; available: {sorted(_FORMATS)}") from None
+
+
+def available_formats() -> list[str]:
+    return sorted(_FORMATS)

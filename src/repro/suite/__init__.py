@@ -1,0 +1,27 @@
+"""The benchmark suite: Table 1 of the paper as executable objects."""
+
+from .base import Benchmark, BenchmarkSpec, TrainingSession
+from .image_classification import ImageClassificationBenchmark
+from .object_detection import ObjectDetectionBenchmark
+from .instance_segmentation import InstanceSegmentationBenchmark
+from .translation import TranslationRecurrentBenchmark, TranslationTransformerBenchmark
+from .recommendation import RecommendationBenchmark
+from .reinforcement import ReinforcementBenchmark
+from .registry import REGISTRY, all_specs, create_benchmark, table1
+
+__all__ = [
+    "Benchmark",
+    "BenchmarkSpec",
+    "TrainingSession",
+    "ImageClassificationBenchmark",
+    "ObjectDetectionBenchmark",
+    "InstanceSegmentationBenchmark",
+    "TranslationRecurrentBenchmark",
+    "TranslationTransformerBenchmark",
+    "RecommendationBenchmark",
+    "ReinforcementBenchmark",
+    "REGISTRY",
+    "all_specs",
+    "create_benchmark",
+    "table1",
+]

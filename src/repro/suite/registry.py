@@ -1,0 +1,57 @@
+"""The benchmark registry: Table 1 as data.
+
+``REGISTRY`` maps benchmark name → factory; :func:`table1` renders the
+suite the way the paper's Table 1 does (benchmark, dataset, model, quality
+threshold), with the run-count rule of §3.2.2 alongside.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import Benchmark
+from .image_classification import ImageClassificationBenchmark
+from .instance_segmentation import InstanceSegmentationBenchmark
+from .object_detection import ObjectDetectionBenchmark
+from .recommendation import RecommendationBenchmark
+from .reinforcement import ReinforcementBenchmark
+from .translation import TranslationRecurrentBenchmark, TranslationTransformerBenchmark
+
+__all__ = ["REGISTRY", "create_benchmark", "all_specs", "table1"]
+
+REGISTRY: dict[str, Callable[[], Benchmark]] = {
+    "image_classification": ImageClassificationBenchmark,
+    "object_detection": ObjectDetectionBenchmark,
+    "instance_segmentation": InstanceSegmentationBenchmark,
+    "translation_recurrent": TranslationRecurrentBenchmark,
+    "translation_transformer": TranslationTransformerBenchmark,
+    "recommendation": RecommendationBenchmark,
+    "reinforcement": ReinforcementBenchmark,
+}
+
+
+def create_benchmark(name: str) -> Benchmark:
+    """Instantiate a benchmark by Table 1 name."""
+    try:
+        factory = REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown benchmark {name!r}; available: {sorted(REGISTRY)}") from None
+    return factory()
+
+
+def all_specs():
+    """Specs of every benchmark in suite order."""
+    return [factory().spec if not hasattr(factory, "spec") else factory.spec
+            for factory in REGISTRY.values()]
+
+
+def table1() -> str:
+    """Render the Table 1 analog as fixed-width text."""
+    header = f"{'Benchmark':<26}{'Dataset':<24}{'Model':<18}{'Metric':<26}{'Threshold':>10}{'Runs':>6}"
+    lines = [header, "-" * len(header)]
+    for spec in all_specs():
+        lines.append(
+            f"{spec.name:<26}{spec.dataset:<24}{spec.model:<18}"
+            f"{spec.quality_metric:<26}{spec.quality_threshold:>10.3g}{spec.required_runs:>6}"
+        )
+    return "\n".join(lines)

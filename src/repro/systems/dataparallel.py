@@ -1,0 +1,145 @@
+"""Executable data-parallel training semantics (not just a cost model).
+
+The Figure 4/5 studies use an analytic *time* model, but the paper's
+§2.2.2-2.2.3 claims are about data-parallel *mathematics*: synchronous
+SGD over W workers with local batch b is equivalent to one step at global
+batch W·b, while asynchronous updates introduce gradient staleness and
+"different gradient accumulation orders".  This module executes both
+schemes against the real framework so those claims are testable:
+
+- :class:`SynchronousDataParallel` splits each global batch across worker
+  shards, averages per-worker gradients (a software all-reduce), and
+  applies one optimizer step — bit-for-bit equivalent (up to float
+  summation order) to single-worker large-batch training.
+- :class:`AsynchronousDataParallel` lets each worker compute its gradient
+  against a stale snapshot of the weights and applies updates in arrival
+  order — reproducing the non-determinism the paper names as a source of
+  run-to-run variance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..framework.module import Module
+from ..framework.optim import Optimizer
+from ..framework.tensor import Tensor
+
+__all__ = ["SynchronousDataParallel", "AsynchronousDataParallel", "shard_batch"]
+
+LossFn = Callable[[Module, tuple], Tensor]
+
+
+def shard_batch(arrays: tuple[np.ndarray, ...], num_workers: int) -> list[tuple[np.ndarray, ...]]:
+    """Split each array along axis 0 into ``num_workers`` near-equal shards.
+
+    The global batch must be divisible by the worker count — the same
+    constraint real data-parallel launchers impose.
+    """
+    n = len(arrays[0])
+    if n % num_workers != 0:
+        raise ValueError(f"global batch {n} not divisible by {num_workers} workers")
+    size = n // num_workers
+    return [
+        tuple(a[w * size : (w + 1) * size] for a in arrays) for w in range(num_workers)
+    ]
+
+
+class SynchronousDataParallel:
+    """Synchronous data parallelism over one in-process model replica.
+
+    Gradients are computed shard by shard and averaged — mathematically an
+    all-reduce.  Loss scaling uses the shard count so that the averaged
+    gradient equals the gradient of the mean loss over the global batch.
+    """
+
+    def __init__(self, model: Module, optimizer: Optimizer, num_workers: int, loss_fn: LossFn):
+        if num_workers < 1:
+            raise ValueError("need at least one worker")
+        self.model = model
+        self.optimizer = optimizer
+        self.num_workers = num_workers
+        self.loss_fn = loss_fn
+
+    def step(self, batch: tuple[np.ndarray, ...]) -> float:
+        """One global step; returns the mean loss across workers."""
+        shards = shard_batch(batch, self.num_workers)
+        accumulated: dict[int, np.ndarray] = {}
+        total_loss = 0.0
+        for shard in shards:
+            self.model.zero_grad()
+            loss = self.loss_fn(self.model, shard)
+            loss.backward()
+            total_loss += float(loss.data)
+            for p in self.model.parameters():
+                if p.grad is None:
+                    continue
+                if id(p) in accumulated:
+                    accumulated[id(p)] += p.grad
+                else:
+                    accumulated[id(p)] = p.grad.copy()
+        # All-reduce: average and install the global gradient.
+        for p in self.model.parameters():
+            grad = accumulated.get(id(p))
+            p.grad = None if grad is None else grad / self.num_workers
+        self.optimizer.step()
+        self.model.zero_grad()
+        return total_loss / self.num_workers
+
+
+class AsynchronousDataParallel:
+    """Asynchronous (parameter-server-style) updates with bounded staleness.
+
+    Each simulated worker holds a snapshot of the weights taken up to
+    ``max_staleness`` updates ago; workers compute gradients against their
+    snapshots and the server applies them in a seeded arrival order.  Runs
+    with different seeds follow different trajectories even on identical
+    data — the §2.2.3 phenomenon.
+    """
+
+    def __init__(self, model: Module, optimizer: Optimizer, num_workers: int,
+                 loss_fn: LossFn, rng: np.random.Generator, max_staleness: int = 1):
+        if num_workers < 1:
+            raise ValueError("need at least one worker")
+        if max_staleness < 0:
+            raise ValueError("staleness cannot be negative")
+        self.model = model
+        self.optimizer = optimizer
+        self.num_workers = num_workers
+        self.loss_fn = loss_fn
+        self.rng = rng
+        self.max_staleness = max_staleness
+        self._snapshots: list[dict[str, np.ndarray]] = []
+
+    def _snapshot(self) -> dict[str, np.ndarray]:
+        return self.model.state_dict()
+
+    def step(self, batch: tuple[np.ndarray, ...]) -> float:
+        """One asynchronous round: every worker contributes one update."""
+        shards = shard_batch(batch, self.num_workers)
+        order = self.rng.permutation(self.num_workers)
+        current = self._snapshot()
+        self._snapshots.append(current)
+        self._snapshots = self._snapshots[-(self.max_staleness + 1):]
+        total_loss = 0.0
+        live_state = {name: p for name, p in self.model.named_parameters()}
+        for worker in order:
+            # The worker computes its gradient against a stale snapshot.
+            stale = self._snapshots[int(self.rng.integers(0, len(self._snapshots)))]
+            live_values = {name: p.data for name, p in live_state.items()}
+            for name, p in live_state.items():
+                p.data = stale[name].copy()
+            self.model.zero_grad()
+            loss = self.loss_fn(self.model, shards[worker])
+            loss.backward()
+            total_loss += float(loss.data)
+            # Server applies the (stale) gradient to the *live* weights.
+            for name, p in live_state.items():
+                p.data = live_values[name]
+            self.optimizer.step()
+            self._snapshots.append(self._snapshot())
+            self._snapshots = self._snapshots[-(self.max_staleness + 1):]
+        self.model.zero_grad()
+        return total_loss / self.num_workers

@@ -1,0 +1,211 @@
+"""Submission-round simulation: v0.5 → v0.6 (§5, Figures 4 and 5).
+
+The paper's §5 analyzes two submission rounds six months apart on
+*unchanged hardware* and attributes the progress to (a) better software
+stacks, (b) rule changes — chiefly allowing LARS for large ResNet batches,
+which unlocked much larger usable global batches — and (c) higher quality
+targets pushing in the opposite direction.  This module encodes exactly
+those three mechanisms:
+
+- each round carries a per-benchmark **software efficiency** multiplier,
+- a per-benchmark **maximum usable global batch** (the optimizer rule),
+- an **epochs multiplier** (raised quality targets lengthen training),
+- and a cap on available system scale.
+
+Figure 4 = speedup of the fastest 16-chip entry between rounds; Figure 5 =
+growth in chip count of the fastest overall entry.  Absolute parameter
+values are representative (documented in EXPERIMENTS.md); the *mechanism*
+— who wins and why the ratios move — is the reproduction target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .convergence import CriticalBatchModel
+from .hardware import ChipSpec, Interconnect, SystemConfig
+from .simulator import WorkloadProfile, optimal_batch_search
+
+__all__ = [
+    "RoundBenchmarkRules",
+    "Round",
+    "ROUND_V05",
+    "ROUND_V06",
+    "REFERENCE_CHIP",
+    "REFERENCE_FABRIC",
+    "SCALING_BENCHMARKS",
+    "Entry",
+    "best_entry_at_scale",
+    "fastest_overall_entry",
+    "figure4_speedups",
+    "figure5_scale_growth",
+]
+
+# One representative accelerator and fabric, fixed across rounds ("the
+# underlying hardware systems did not change").
+REFERENCE_CHIP = ChipSpec(
+    name="accel-v1",
+    samples_per_second=1600.0,
+    step_overhead_s=2e-3,
+    max_local_batch=256,
+)
+REFERENCE_FABRIC = Interconnect(
+    name="fat-tree-100g",
+    bandwidth_bytes_per_s=12.5e9,
+    latency_s=1.5e-6,
+)
+
+# The five benchmarks §5 compares across rounds (NCF and MiniGo were
+# modified/replaced between rounds and excluded from the comparison).
+SCALING_BENCHMARKS: dict[str, WorkloadProfile] = {
+    "image_classification": WorkloadProfile(
+        name="image_classification",
+        dataset_size=1_281_167,
+        model_bytes=102e6,  # ResNet-50 fp32 gradients
+        convergence=CriticalBatchModel(e_min=57.6, b_crit=36_000.0),
+        min_local_batch=16,
+    ),
+    "object_detection": WorkloadProfile(
+        name="object_detection",
+        dataset_size=118_000,
+        model_bytes=140e6,
+        convergence=CriticalBatchModel(e_min=45.0, b_crit=4_000.0),
+        min_local_batch=16,
+    ),
+    "instance_segmentation": WorkloadProfile(
+        name="instance_segmentation",
+        dataset_size=118_000,
+        model_bytes=180e6,
+        convergence=CriticalBatchModel(e_min=12.0, b_crit=1_200.0),
+        min_local_batch=16,
+    ),
+    "translation_recurrent": WorkloadProfile(
+        name="translation_recurrent",
+        dataset_size=4_500_000,
+        model_bytes=520e6,
+        convergence=CriticalBatchModel(e_min=2.2, b_crit=8_000.0),
+        min_local_batch=16,
+    ),
+    "translation_transformer": WorkloadProfile(
+        name="translation_transformer",
+        dataset_size=4_500_000,
+        model_bytes=850e6,
+        convergence=CriticalBatchModel(e_min=2.0, b_crit=16_000.0),
+        min_local_batch=16,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class RoundBenchmarkRules:
+    """Per-benchmark knobs that changed between rounds."""
+
+    software_efficiency: float
+    max_global_batch: int
+    epochs_multiplier: float  # quality-target raises
+
+
+@dataclass(frozen=True)
+class Round:
+    """One submission round's rule set."""
+
+    name: str
+    max_system_chips: int
+    benchmark_rules: dict[str, RoundBenchmarkRules]
+
+
+# v0.5: baseline software, momentum-SGD batch limits, original targets.
+ROUND_V05 = Round(
+    name="v0.5",
+    max_system_chips=1024,
+    benchmark_rules={
+        "image_classification": RoundBenchmarkRules(1.00, 8_192, 1.0),
+        "object_detection": RoundBenchmarkRules(1.00, 2_048, 1.0),
+        "instance_segmentation": RoundBenchmarkRules(1.00, 512, 1.0),
+        "translation_recurrent": RoundBenchmarkRules(1.00, 8_192, 1.0),
+        "translation_transformer": RoundBenchmarkRules(1.00, 8_192, 1.0),
+    },
+)
+
+# v0.6: matured software stacks (per-benchmark gains), LARS unlocks big
+# ResNet batches, GNMT/Transformer large-batch recipes mature, quality
+# targets raised (epochs multiplier > 1), larger systems fielded.
+ROUND_V06 = Round(
+    name="v0.6",
+    max_system_chips=4096,
+    benchmark_rules={
+        "image_classification": RoundBenchmarkRules(1.50, 65_536, 1.10),
+        "object_detection": RoundBenchmarkRules(1.70, 16_384, 1.12),
+        "instance_segmentation": RoundBenchmarkRules(1.45, 2_048, 1.05),
+        "translation_recurrent": RoundBenchmarkRules(1.70, 32_768, 1.10),
+        "translation_transformer": RoundBenchmarkRules(1.50, 65_536, 1.08),
+    },
+)
+
+
+@dataclass(frozen=True)
+class Entry:
+    """A simulated submission entry: the best configuration found."""
+
+    benchmark: str
+    round_name: str
+    num_chips: int
+    global_batch: int
+    time_to_train_s: float
+
+
+def _profile_for_round(benchmark: str, round_: Round) -> tuple[WorkloadProfile, RoundBenchmarkRules]:
+    profile = SCALING_BENCHMARKS[benchmark]
+    rules = round_.benchmark_rules[benchmark]
+    return replace(profile, max_global_batch=rules.max_global_batch), rules
+
+
+def best_entry_at_scale(benchmark: str, round_: Round, num_chips: int) -> Entry:
+    """Fastest entry for a benchmark at a fixed chip count."""
+    profile, rules = _profile_for_round(benchmark, round_)
+    system = SystemConfig(
+        chip=REFERENCE_CHIP,
+        num_chips=num_chips,
+        interconnect=REFERENCE_FABRIC,
+        software_efficiency=rules.software_efficiency,
+    )
+    ttt, batch = optimal_batch_search(system, profile, rules.epochs_multiplier)
+    return Entry(benchmark, round_.name, num_chips, batch, ttt)
+
+
+def fastest_overall_entry(benchmark: str, round_: Round) -> Entry:
+    """Fastest entry over all feasible system scales (powers of two)."""
+    best: Entry | None = None
+    chips = 1
+    while chips <= round_.max_system_chips:
+        try:
+            entry = best_entry_at_scale(benchmark, round_, chips)
+        except ValueError:
+            break  # scale infeasible for this workload's batch limits
+        if best is None or entry.time_to_train_s < best.time_to_train_s:
+            best = entry
+        chips *= 2
+    assert best is not None
+    return best
+
+
+def figure4_speedups(chips: int = 16) -> dict[str, float]:
+    """Figure 4: per-benchmark fastest-entry speedup v0.5 → v0.6 at a
+    fixed chip count, despite the raised quality targets."""
+    speedups = {}
+    for benchmark in SCALING_BENCHMARKS:
+        v05 = best_entry_at_scale(benchmark, ROUND_V05, chips)
+        v06 = best_entry_at_scale(benchmark, ROUND_V06, chips)
+        speedups[benchmark] = v05.time_to_train_s / v06.time_to_train_s
+    return speedups
+
+
+def figure5_scale_growth() -> dict[str, tuple[Entry, Entry]]:
+    """Figure 5: the fastest overall entries of both rounds per benchmark."""
+    return {
+        benchmark: (
+            fastest_overall_entry(benchmark, ROUND_V05),
+            fastest_overall_entry(benchmark, ROUND_V06),
+        )
+        for benchmark in SCALING_BENCHMARKS
+    }

@@ -1,0 +1,97 @@
+"""Synchronous data-parallel training-time simulator.
+
+Combines the hardware model (compute + all-reduce per step) with a
+convergence model (epochs-to-target as a function of global batch) to
+produce simulated time-to-train — the quantity the §5 scaling studies
+(Figures 4 and 5) reason about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+from .convergence import CriticalBatchModel
+from .hardware import SystemConfig
+
+__all__ = ["WorkloadProfile", "step_time", "simulate_time_to_train", "optimal_batch_search"]
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Everything the simulator needs to know about one benchmark."""
+
+    name: str
+    dataset_size: int  # samples per epoch
+    model_bytes: float  # gradient payload for all-reduce
+    convergence: CriticalBatchModel
+    min_local_batch: int = 1  # below this, per-chip utilization is pointless
+    max_global_batch: int = 1 << 30  # optimizer-limited (the LARS rule knob)
+
+
+def step_time(system: SystemConfig, profile: WorkloadProfile, global_batch: int) -> float:
+    """Seconds per synchronous data-parallel step."""
+    if global_batch < system.num_chips * profile.min_local_batch:
+        raise ValueError(
+            f"global batch {global_batch} too small for {system.num_chips} chips "
+            f"(min local batch {profile.min_local_batch})"
+        )
+    local_batch = global_batch / system.num_chips
+    if local_batch > system.chip.max_local_batch:
+        raise ValueError(
+            f"local batch {local_batch:.0f} exceeds chip capacity "
+            f"{system.chip.max_local_batch}"
+        )
+    compute = system.chip.compute_time(local_batch, system.software_efficiency)
+    comm = system.interconnect.allreduce_time(system.num_chips, profile.model_bytes)
+    return compute + comm
+
+
+def simulate_time_to_train(
+    system: SystemConfig,
+    profile: WorkloadProfile,
+    global_batch: int,
+    epochs_multiplier: float = 1.0,
+) -> float:
+    """Simulated TTT: steps/epoch × epochs-to-target(batch) × step time.
+
+    ``epochs_multiplier`` models quality-target raises (v0.6 lifted
+    thresholds, lengthening training at equal batch).
+    """
+    if global_batch > profile.max_global_batch:
+        raise ValueError(
+            f"batch {global_batch} exceeds workload's max usable batch "
+            f"{profile.max_global_batch}"
+        )
+    epochs = profile.convergence.epochs_to_target(global_batch) * epochs_multiplier
+    steps_per_epoch = max(ceil(profile.dataset_size / global_batch), 1)
+    return epochs * steps_per_epoch * step_time(system, profile, global_batch)
+
+
+def optimal_batch_search(
+    system: SystemConfig,
+    profile: WorkloadProfile,
+    epochs_multiplier: float = 1.0,
+) -> tuple[float, int]:
+    """Best (time-to-train, global batch) for a fixed system.
+
+    Scans power-of-two global batches between the system's minimum and the
+    smaller of chip memory capacity and the workload's optimizer-limited
+    maximum — the search a submitter performs when tuning an entry.
+    """
+    lo = system.num_chips * profile.min_local_batch
+    hi = min(system.num_chips * system.chip.max_local_batch, profile.max_global_batch)
+    if lo > hi:
+        raise ValueError(f"system {system.num_chips} chips cannot run {profile.name}: "
+                         f"min feasible batch {lo} > max usable batch {hi}")
+    batch = 1
+    while batch < lo:
+        batch *= 2
+    best: tuple[float, int] | None = None
+    while batch <= hi:
+        ttt = simulate_time_to_train(system, profile, batch, epochs_multiplier)
+        if best is None or ttt < best[0]:
+            best = (ttt, batch)
+        batch *= 2
+    assert best is not None
+    return best

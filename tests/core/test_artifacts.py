@@ -1,0 +1,135 @@
+"""Submission artifacts: save/load roundtrip, directory review, log lint."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BenchmarkRunner,
+    Category,
+    Division,
+    FakeClock,
+    Keys,
+    Submission,
+    SystemDescription,
+    SystemType,
+)
+from repro.core.artifacts import (
+    check_log_text,
+    load_submission,
+    review_directory,
+    save_submission,
+)
+from tests.core.fakes import FAKE_SPEC, FakeBenchmark
+
+
+@pytest.fixture()
+def submission():
+    clock = FakeClock()
+    bench = FakeBenchmark(clock=clock)
+    runner = BenchmarkRunner(clock=clock)
+    runs = [runner.run(bench, seed=s) for s in range(5)]
+    system = SystemDescription(
+        submitter="acme",
+        system_name="acme-8x",
+        system_type=SystemType.CLOUD,
+        num_nodes=2,
+        processors_per_node=2,
+        processor_type="cpu-x",
+        accelerators_per_node=8,
+        accelerator_type="gpu-large",
+        host_memory_gb=256.0,
+        interconnect="100GbE",
+        software_stack={"framework": "repro"},
+    )
+    sub = Submission(system, Division.CLOSED, Category.AVAILABLE,
+                     code_url="https://example.com/acme")
+    sub.add_runs(FAKE_SPEC.name, runs)
+    return sub
+
+
+class TestSaveLoad:
+    def test_directory_layout(self, submission, tmp_path):
+        base = save_submission(submission, tmp_path)
+        assert (base / "systems" / "acme-8x.json").exists()
+        results = base / "results" / "acme-8x" / FAKE_SPEC.name
+        assert len(list(results.glob("result_*.txt"))) == 5
+        assert (base / "code" / "README.md").exists()
+
+    def test_roundtrip_preserves_submission(self, submission, tmp_path):
+        base = save_submission(submission, tmp_path)
+        loaded = load_submission(base)
+        assert loaded.system == submission.system
+        assert loaded.division == submission.division
+        assert loaded.category == submission.category
+        assert loaded.code_url == submission.code_url
+        orig = submission.runs[FAKE_SPEC.name]
+        back = loaded.runs[FAKE_SPEC.name]
+        assert len(back) == len(orig)
+        for a, b in zip(orig, back):
+            assert a.seed == b.seed
+            assert a.epochs == b.epochs
+            assert a.time_to_train_s == pytest.approx(b.time_to_train_s)
+            assert a.quality == pytest.approx(b.quality)
+            assert a.log_lines == b.log_lines
+            np.testing.assert_allclose(a.quality_history, b.quality_history)
+
+    def test_loaded_submission_passes_review(self, submission, tmp_path):
+        base = save_submission(submission, tmp_path)
+        report = review_directory(base, {FAKE_SPEC.name: FAKE_SPEC})
+        assert report.compliant, str(report)
+
+    def test_tampered_file_fails_review(self, submission, tmp_path):
+        base = save_submission(submission, tmp_path)
+        victim = next((base / "results" / "acme-8x" / FAKE_SPEC.name).glob("result_0.txt"))
+        text = victim.read_text()
+        victim.write_text("\n".join(
+            line for line in text.splitlines() if "eval_accuracy" not in line
+        ) + "\n")
+        report = review_directory(base, {FAKE_SPEC.name: FAKE_SPEC})
+        assert not report.compliant
+
+    def test_missing_system_file_rejected(self, tmp_path):
+        (tmp_path / "ghost" / "systems").mkdir(parents=True)
+        with pytest.raises(FileNotFoundError):
+            load_submission(tmp_path / "ghost")
+
+    def test_result_file_human_readable_header(self, submission, tmp_path):
+        base = save_submission(submission, tmp_path)
+        text = next((base / "results" / "acme-8x" / FAKE_SPEC.name).glob("*.txt")).read_text()
+        header = json.loads(text.splitlines()[0][len("# repro-run "):])
+        assert {"seed", "hyperparameters", "time_to_train_s"} <= set(header)
+
+
+class TestCheckLogText:
+    def good_log(self):
+        clock = FakeClock()
+        bench = FakeBenchmark(clock=clock)
+        run = BenchmarkRunner(clock=clock).run(bench, seed=0)
+        return "\n".join(run.log_lines)
+
+    def test_clean_log_passes(self):
+        assert check_log_text(self.good_log(), FAKE_SPEC) == []
+
+    def test_empty_text(self):
+        assert check_log_text("nothing here", FAKE_SPEC) == ["no MLLOG events found"]
+
+    def test_missing_run_stop_reported(self):
+        text = "\n".join(l for l in self.good_log().splitlines() if "run_stop" not in l)
+        problems = check_log_text(text, FAKE_SPEC)
+        assert any("run_stop" in p for p in problems)
+
+    def test_wrong_benchmark_reported(self):
+        from repro.suite import create_benchmark
+
+        other = create_benchmark("recommendation").spec
+        problems = check_log_text(self.good_log(), other)
+        assert any("mismatch" in p for p in problems)
+
+    def test_low_quality_reported(self):
+        import dataclasses
+
+        strict = dataclasses.replace(FAKE_SPEC, quality_threshold=2.0)
+        problems = check_log_text(self.good_log(), strict)
+        assert any("below target" in p for p in problems)

@@ -1,0 +1,69 @@
+"""Scale → hyperparameter recommendation tables (§6 future work)."""
+
+import pytest
+
+from repro.core import Division, check_hyperparameters
+from repro.core.hp_table import (
+    recommend_hyperparameters,
+    recommendation_table,
+    render_table,
+)
+from repro.suite import all_specs, create_benchmark
+
+
+@pytest.fixture(scope="module")
+def ic_spec():
+    return create_benchmark("image_classification").spec
+
+
+class TestRecommendations:
+    def test_single_chip_is_reference(self, ic_spec):
+        rec = recommend_hyperparameters(ic_spec, num_chips=2, per_chip_batch=32)
+        # 2 chips x 32 = 64 = reference batch: no overrides needed.
+        assert rec.hyperparameters["batch_size"] == 64
+        assert "base_lr" not in rec.hyperparameters
+
+    def test_lr_scales_linearly(self, ic_spec):
+        rec = recommend_hyperparameters(ic_spec, num_chips=8, per_chip_batch=32)
+        base = ic_spec.default_hyperparameters["base_lr"]
+        assert rec.hyperparameters["base_lr"] == pytest.approx(base * 256 / 64)
+
+    def test_lars_recommended_at_large_scale(self, ic_spec):
+        rec = recommend_hyperparameters(ic_spec, num_chips=64, per_chip_batch=32)
+        assert rec.hyperparameters["optimizer"] == "lars"
+        assert "LARS" in rec.notes
+
+    def test_no_lars_for_benchmarks_without_it(self):
+        spec = create_benchmark("recommendation").spec
+        rec = recommend_hyperparameters(spec, num_chips=64, per_chip_batch=32)
+        assert "optimizer" not in rec.hyperparameters
+
+    def test_all_recommendations_closed_legal(self):
+        """The table never suggests an illegal configuration."""
+        for spec in all_specs():
+            for chips in (1, 4, 16, 64):
+                rec = recommend_hyperparameters(spec, chips)
+                merged = spec.resolve_hyperparameters(rec.hyperparameters)
+                assert check_hyperparameters(spec, merged, Division.CLOSED) == []
+
+    def test_batch_cap_respected(self, ic_spec):
+        rec = recommend_hyperparameters(ic_spec, num_chips=64, per_chip_batch=32,
+                                        max_global_batch=512)
+        assert rec.hyperparameters["batch_size"] == 512
+
+    def test_invalid_chips(self, ic_spec):
+        with pytest.raises(ValueError):
+            recommend_hyperparameters(ic_spec, num_chips=0)
+
+
+class TestTable:
+    def test_full_table_shape(self):
+        rows = recommendation_table(all_specs(), chip_counts=(1, 16), precisions=("float32",))
+        assert len(rows) == 7 * 2
+
+    def test_render(self):
+        rows = recommendation_table([create_benchmark("image_classification").spec],
+                                    chip_counts=(1, 64), precisions=("float32",))
+        text = render_table(rows)
+        assert "image_classification" in text
+        assert "lars" in text  # the 64-chip row

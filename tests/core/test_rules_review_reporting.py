@@ -1,0 +1,282 @@
+"""Division rules, peer review, reporting, and the cloud scale metric."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ACCELERATOR_WEIGHTS,
+    BenchmarkRunner,
+    Category,
+    Division,
+    FakeClock,
+    ResultsReport,
+    RuleViolation,
+    Submission,
+    SummaryScoreRefused,
+    SystemDescription,
+    SystemType,
+    borrow_hyperparameters,
+    build_report,
+    check_hyperparameters,
+    cloud_scale,
+    correlation_with_cost,
+    review_submission,
+    summary_score,
+    system_cloud_scale,
+)
+from tests.core.fakes import FAKE_SPEC, FakeBenchmark
+
+
+def make_system(**overrides):
+    defaults = dict(
+        submitter="acme",
+        system_name="acme-8x",
+        system_type=SystemType.ON_PREMISE,
+        num_nodes=1,
+        processors_per_node=2,
+        processor_type="cpu-x",
+        accelerators_per_node=8,
+        accelerator_type="gpu-large",
+        host_memory_gb=256.0,
+        interconnect="100GbE",
+    )
+    defaults.update(overrides)
+    return SystemDescription(**defaults)
+
+
+def run_fake_benchmark(n_runs=5, **hp_overrides):
+    clock = FakeClock()
+    bench = FakeBenchmark(clock=clock)
+    runner = BenchmarkRunner(clock=clock)
+    return [
+        runner.run(bench, seed=s, hyperparameter_overrides=hp_overrides or None)
+        for s in range(n_runs)
+    ]
+
+
+class TestHyperparameterRules:
+    def test_defaults_compliant(self):
+        hp = dict(FAKE_SPEC.default_hyperparameters)
+        assert check_hyperparameters(FAKE_SPEC, hp, Division.CLOSED) == []
+
+    def test_modifiable_change_allowed(self):
+        hp = dict(FAKE_SPEC.default_hyperparameters, batch_size=128)
+        assert check_hyperparameters(FAKE_SPEC, hp, Division.CLOSED) == []
+
+    def test_fixed_change_rejected_closed(self):
+        hp = dict(FAKE_SPEC.default_hyperparameters, momentum=0.5)
+        violations = check_hyperparameters(FAKE_SPEC, hp, Division.CLOSED)
+        assert len(violations) == 1
+        assert violations[0].rule == "fixed_hyperparameter_changed"
+
+    def test_fixed_change_allowed_open(self):
+        hp = dict(FAKE_SPEC.default_hyperparameters, momentum=0.5)
+        assert check_hyperparameters(FAKE_SPEC, hp, Division.OPEN) == []
+
+    def test_lr_scaling_allowed_with_batch_change(self):
+        """The Goyal et al. rule: lr may move when batch size moves."""
+        hp = dict(FAKE_SPEC.default_hyperparameters, batch_size=128, base_lr=0.4)
+        assert check_hyperparameters(FAKE_SPEC, hp, Division.CLOSED) == []
+
+    def test_unknown_hp_rejected_in_both_divisions(self):
+        hp = dict(FAKE_SPEC.default_hyperparameters, secret_knob=1)
+        for division in (Division.CLOSED, Division.OPEN):
+            violations = check_hyperparameters(FAKE_SPEC, hp, division)
+            assert any(v.rule == "unknown_hyperparameter" for v in violations)
+
+    def test_violation_str(self):
+        v = RuleViolation("b", "r", "m")
+        assert "b" in str(v) and "r" in str(v)
+
+
+class TestReview:
+    def specs(self):
+        return {FAKE_SPEC.name: FAKE_SPEC}
+
+    def test_compliant_submission(self):
+        sub = Submission(make_system(), Division.CLOSED, Category.AVAILABLE)
+        sub.add_runs(FAKE_SPEC.name, run_fake_benchmark(5))
+        report = review_submission(sub, self.specs())
+        assert report.compliant, str(report)
+
+    def test_run_count_enforced(self):
+        sub = Submission(make_system(), Division.CLOSED, Category.AVAILABLE)
+        sub.add_runs(FAKE_SPEC.name, run_fake_benchmark(3))
+        report = review_submission(sub, self.specs())
+        assert any(v.rule == "run_count" for v in report.violations)
+
+    def test_duplicate_seeds_flagged(self):
+        runs = run_fake_benchmark(5)
+        runs[1] = runs[0]
+        sub = Submission(make_system(), Division.CLOSED, Category.AVAILABLE)
+        sub.add_runs(FAKE_SPEC.name, runs)
+        report = review_submission(sub, self.specs())
+        assert any(v.rule == "duplicate_seeds" for v in report.violations)
+
+    def test_inconsistent_hps_flagged(self):
+        runs = run_fake_benchmark(3) + run_fake_benchmark(2, batch_size=128)
+        # fix seeds to be distinct
+        for i, r in enumerate(runs):
+            r.seed = i
+        sub = Submission(make_system(), Division.CLOSED, Category.AVAILABLE)
+        sub.add_runs(FAKE_SPEC.name, runs)
+        report = review_submission(sub, self.specs())
+        assert any(v.rule == "inconsistent_hyperparameters" for v in report.violations)
+
+    def test_noncompliant_hp_flagged_from_runs(self):
+        runs = run_fake_benchmark(5, momentum=0.1)
+        sub = Submission(make_system(), Division.CLOSED, Category.AVAILABLE)
+        sub.add_runs(FAKE_SPEC.name, runs)
+        report = review_submission(sub, self.specs())
+        assert any(v.rule == "fixed_hyperparameter_changed" for v in report.violations)
+
+    def test_unknown_benchmark_flagged(self):
+        sub = Submission(make_system(), Division.CLOSED, Category.AVAILABLE)
+        sub.add_runs("made_up", run_fake_benchmark(5))
+        report = review_submission(sub, self.specs())
+        assert any(v.rule == "unknown_benchmark" for v in report.violations)
+
+    def test_tampered_log_quality_flagged(self):
+        runs = run_fake_benchmark(5)
+        # Tamper: strip eval events from one run's log.
+        runs[0].log_lines = [l for l in runs[0].log_lines if "eval_accuracy" not in l]
+        sub = Submission(make_system(), Division.CLOSED, Category.AVAILABLE)
+        sub.add_runs(FAKE_SPEC.name, runs)
+        report = review_submission(sub, self.specs())
+        assert any(v.rule == "missing_evals" for v in report.violations)
+
+    def test_available_category_requires_availability(self):
+        system = make_system(hardware_available=False)
+        sub = Submission(system, Division.CLOSED, Category.AVAILABLE)
+        sub.add_runs(FAKE_SPEC.name, run_fake_benchmark(5))
+        report = review_submission(sub, self.specs())
+        assert any(v.rule == "category" for v in report.violations)
+
+    def test_research_category_no_availability_requirement(self):
+        system = make_system(hardware_available=False)
+        sub = Submission(system, Division.CLOSED, Category.RESEARCH)
+        sub.add_runs(FAKE_SPEC.name, run_fake_benchmark(5))
+        report = review_submission(sub, self.specs())
+        assert report.compliant
+
+    def test_report_str(self):
+        sub = Submission(make_system(), Division.CLOSED, Category.AVAILABLE)
+        sub.add_runs(FAKE_SPEC.name, run_fake_benchmark(5))
+        assert "COMPLIANT" in str(review_submission(sub, self.specs()))
+
+
+class TestBorrowing:
+    def test_borrows_modifiable_only(self):
+        borrower = dict(FAKE_SPEC.default_hyperparameters)
+        lender = dict(FAKE_SPEC.default_hyperparameters,
+                      batch_size=512, base_lr=1.6, momentum=0.99)
+        adopted = borrow_hyperparameters(borrower, lender, FAKE_SPEC)
+        assert adopted["batch_size"] == 512
+        assert adopted["base_lr"] == 1.6
+        assert adopted["momentum"] == borrower["momentum"]  # fixed: not borrowed
+
+    def test_borrowed_hps_are_compliant(self):
+        lender = dict(FAKE_SPEC.default_hyperparameters, batch_size=512, base_lr=1.6)
+        adopted = borrow_hyperparameters(dict(FAKE_SPEC.default_hyperparameters),
+                                         lender, FAKE_SPEC)
+        assert check_hyperparameters(FAKE_SPEC, adopted, Division.CLOSED) == []
+
+
+class TestReporting:
+    def build(self):
+        sub1 = Submission(make_system(submitter="acme"), Division.CLOSED, Category.AVAILABLE)
+        sub1.add_runs(FAKE_SPEC.name, run_fake_benchmark(5))
+        sub2 = Submission(
+            make_system(submitter="zeta", system_name="zeta-c", num_nodes=2,
+                        system_type=SystemType.CLOUD),
+            Division.CLOSED,
+            Category.AVAILABLE,
+        )
+        sub2.add_runs(FAKE_SPEC.name, run_fake_benchmark(5))
+        return build_report([sub1, sub2])
+
+    def test_one_row_per_system_benchmark(self):
+        report = self.build()
+        assert len(report.rows) == 2
+
+    def test_fastest_lookup(self):
+        report = self.build()
+        fastest = report.fastest(FAKE_SPEC.name)
+        assert fastest is not None
+        assert fastest.time_to_train_s == min(r.time_to_train_s for r in report.rows)
+
+    def test_cloud_scale_only_for_cloud(self):
+        report = self.build()
+        by_submitter = {r.submitter: r for r in report.rows}
+        assert by_submitter["acme"].scale.cloud_scale is None
+        assert by_submitter["zeta"].scale.cloud_scale is not None
+
+    def test_render_contains_rows(self):
+        text = self.build().render()
+        assert "acme" in text and "zeta" in text and FAKE_SPEC.name in text
+
+    def test_no_summary_score_by_design(self):
+        """§4.2.4: the refusal itself is the behaviour under test."""
+        with pytest.raises(SummaryScoreRefused, match="per-benchmark"):
+            summary_score(self.build())
+
+    def test_empty_benchmark_lookup(self):
+        assert ResultsReport().fastest("nothing") is None
+
+
+class TestCloudScale:
+    def test_more_accelerators_higher_scale(self):
+        a = cloud_scale(8, 64, 1, "gpu-small")
+        b = cloud_scale(8, 64, 8, "gpu-small")
+        assert b > a
+
+    def test_accelerator_type_weighting(self):
+        small = cloud_scale(8, 64, 4, "gpu-small")
+        large = cloud_scale(8, 64, 4, "gpu-large")
+        assert large > small
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(KeyError):
+            cloud_scale(8, 64, 4, "quantum")
+
+    def test_system_cloud_scale_requires_cloud(self):
+        with pytest.raises(ValueError):
+            system_cloud_scale(make_system())
+
+    def test_correlation(self):
+        scales = [1.0, 2.0, 3.0, 4.0]
+        prices = [10.0, 19.0, 33.0, 41.0]
+        assert correlation_with_cost(scales, prices) > 0.95
+
+    def test_correlation_validation(self):
+        with pytest.raises(ValueError):
+            correlation_with_cost([1.0], [2.0])
+
+    def test_weights_cover_none(self):
+        assert ACCELERATOR_WEIGHTS["none"] == 0.0
+
+
+class TestTimingIntegrity:
+    def test_underreported_time_flagged(self):
+        runs = run_fake_benchmark(5)
+        runs[0].time_to_train_s = 0.001  # claims faster than the log shows
+        sub = Submission(make_system(), Division.CLOSED, Category.AVAILABLE)
+        sub.add_runs(FAKE_SPEC.name, runs)
+        report = review_submission(sub, {FAKE_SPEC.name: FAKE_SPEC})
+        assert any(v.rule == "timing_integrity" for v in report.violations)
+
+    def test_honest_time_passes(self):
+        runs = run_fake_benchmark(5)
+        sub = Submission(make_system(), Division.CLOSED, Category.AVAILABLE)
+        sub.add_runs(FAKE_SPEC.name, runs)
+        report = review_submission(sub, {FAKE_SPEC.name: FAKE_SPEC})
+        assert not any(v.rule == "timing_integrity" for v in report.violations)
+
+    def test_overreported_time_allowed(self):
+        # Model-creation overflow may legitimately add to the run duration.
+        runs = run_fake_benchmark(5)
+        runs[0].time_to_train_s += 5.0
+        sub = Submission(make_system(), Division.CLOSED, Category.AVAILABLE)
+        sub.add_runs(FAKE_SPEC.name, runs)
+        report = review_submission(sub, {FAKE_SPEC.name: FAKE_SPEC})
+        assert not any(v.rule == "timing_integrity" for v in report.violations)

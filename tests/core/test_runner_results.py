@@ -1,0 +1,174 @@
+"""Run orchestration and §3.2.2 score aggregation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BenchmarkRunner,
+    FakeClock,
+    Keys,
+    MLLogger,
+    olympic_mean,
+    score_runs,
+)
+from repro.core.runner import RunResult
+from tests.core.fakes import FakeBenchmark
+
+
+def make_runner(epoch_cost=1.0):
+    clock = FakeClock()
+    bench = FakeBenchmark(clock=clock, epoch_cost_s=epoch_cost)
+    return BenchmarkRunner(clock=clock), bench
+
+
+class TestBenchmarkRunner:
+    def test_reaches_target(self):
+        runner, bench = make_runner()
+        result = runner.run(bench, seed=0)
+        assert result.reached_target
+        assert result.quality >= bench.spec.quality_threshold
+        assert result.epochs >= 1
+
+    def test_time_to_train_counts_epochs_only(self):
+        runner, bench = make_runner(epoch_cost=2.0)
+        result = runner.run(bench, seed=0)
+        assert result.time_to_train_s == pytest.approx(result.epochs * 2.0)
+
+    def test_seed_changes_epochs(self):
+        runner, bench = make_runner()
+        epochs = {runner.run(bench, seed=s).epochs for s in range(8)}
+        assert len(epochs) > 1  # §2.2.3 run-to-run variation
+
+    def test_same_seed_reproducible(self):
+        runner, bench = make_runner()
+        a = runner.run(bench, seed=3)
+        b = runner.run(bench, seed=3)
+        assert a.epochs == b.epochs
+        assert a.quality == pytest.approx(b.quality)
+
+    def test_log_contains_required_structure(self):
+        runner, bench = make_runner()
+        result = runner.run(bench, seed=0)
+        log = MLLogger.from_lines(result.log_lines)
+        for key in (Keys.SUBMISSION_BENCHMARK, Keys.SEED, Keys.INIT_START,
+                    Keys.INIT_STOP, Keys.RUN_START, Keys.RUN_STOP,
+                    Keys.EVAL_ACCURACY, Keys.TARGET_REACHED):
+            assert log.first(key) is not None, key
+
+    def test_eval_details_logged(self):
+        runner, bench = make_runner()
+        result = runner.run(bench, seed=0)
+        log = MLLogger.from_lines(result.log_lines)
+        evals = log.find(Keys.EVAL_ACCURACY)
+        assert "aux_metric" in evals[-1].metadata
+
+    def test_hyperparameter_overrides_applied_and_logged(self):
+        runner, bench = make_runner()
+        result = runner.run(bench, seed=0, hyperparameter_overrides={"base_lr": 0.5})
+        assert result.hyperparameters["base_lr"] == 0.5
+        log = MLLogger.from_lines(result.log_lines)
+        hp_events = {e.metadata["name"]: e.value for e in log.find(Keys.HYPERPARAMETER)}
+        assert hp_events["base_lr"] == 0.5
+
+    def test_unknown_override_rejected(self):
+        runner, bench = make_runner()
+        with pytest.raises(KeyError):
+            runner.run(bench, seed=0, hyperparameter_overrides={"bogus": 1})
+
+    def test_max_epochs_abort(self):
+        runner, bench = make_runner()
+        result = runner.run(bench, seed=0, hyperparameter_overrides={"learning_speed": 0.001},
+                            max_epochs=5)
+        assert not result.reached_target
+        assert result.epochs == 5
+        assert result.epochs_to_target is None
+
+    def test_eval_every(self):
+        clock = FakeClock()
+        bench = FakeBenchmark(clock=clock)
+        runner = BenchmarkRunner(clock=clock, eval_every=3)
+        result = runner.run(bench, seed=0)
+        log = MLLogger.from_lines(result.log_lines)
+        eval_epochs = [e.metadata["epoch_num"] for e in log.find(Keys.EVAL_ACCURACY)]
+        assert all(ep % 3 == 0 for ep in eval_epochs[:-1])
+
+    def test_prepare_data_called(self):
+        runner, bench = make_runner()
+        runner.run(bench, seed=0)
+        assert bench.prepared == 1
+
+
+class TestOlympicMean:
+    def test_drops_extremes(self):
+        assert olympic_mean([1.0, 10.0, 11.0, 12.0, 100.0]) == pytest.approx(11.0)
+
+    def test_minimum_three(self):
+        with pytest.raises(ValueError):
+            olympic_mean([1.0, 2.0])
+
+    def test_three_values_keeps_middle(self):
+        assert olympic_mean([5.0, 7.0, 100.0]) == 7.0
+
+    def test_ties_drop_one_each(self):
+        assert olympic_mean([1.0, 1.0, 1.0, 9.0, 9.0]) == pytest.approx((1 + 1 + 9) / 3)
+
+    @given(st.lists(st.floats(0.1, 1e6), min_size=3, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_by_remaining_extremes(self, values):
+        m = olympic_mean(values)
+        s = sorted(values)
+        assert s[1] - 1e-9 <= m <= s[-2] + 1e-9
+
+    @given(st.lists(st.floats(0.1, 1e6), min_size=3, max_size=20), st.floats(0.5, 2.0))
+    @settings(max_examples=50, deadline=None)
+    def test_scale_equivariance(self, values, factor):
+        assert olympic_mean([v * factor for v in values]) == pytest.approx(
+            olympic_mean(values) * factor, rel=1e-9
+        )
+
+
+def fake_run(benchmark="fake", seed=0, time_s=10.0, reached=True, epochs=5):
+    return RunResult(
+        benchmark=benchmark,
+        seed=seed,
+        hyperparameters={"batch_size": 32},
+        reached_target=reached,
+        quality=0.9,
+        epochs=epochs,
+        time_to_train_s=time_s,
+    )
+
+
+class TestScoreRuns:
+    def test_olympic_scoring(self):
+        runs = [fake_run(seed=i, time_s=t) for i, t in enumerate([8.0, 10.0, 11.0, 12.0, 50.0])]
+        score = score_runs(runs)
+        assert score.time_to_train_s == pytest.approx(11.0)
+        assert score.dropped_fastest_s == 8.0
+        assert score.dropped_slowest_s == 50.0
+        assert score.num_runs == 5
+
+    def test_failed_run_rejected(self):
+        runs = [fake_run(seed=i) for i in range(4)] + [fake_run(seed=4, reached=False)]
+        with pytest.raises(ValueError, match="did not reach"):
+            score_runs(runs)
+
+    def test_mixed_benchmarks_rejected(self):
+        runs = [fake_run(benchmark="a"), fake_run(benchmark="b"), fake_run(benchmark="a")]
+        with pytest.raises(ValueError, match="multiple benchmarks"):
+            score_runs(runs)
+
+    def test_required_count_enforced(self):
+        runs = [fake_run(seed=i) for i in range(4)]
+        with pytest.raises(ValueError, match="exactly 5"):
+            score_runs(runs, required_runs=5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            score_runs([])
+
+    def test_mean_epochs(self):
+        runs = [fake_run(seed=i, epochs=e) for i, e in enumerate([4, 5, 6])]
+        assert score_runs(runs).mean_epochs == pytest.approx(5.0)

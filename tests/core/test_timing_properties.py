@@ -1,0 +1,66 @@
+"""Property tests on the timing rules."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FakeClock, TrainingTimer
+
+durations = st.floats(0.0, 1000.0)
+
+
+def run_session(init, creation, run, cap=1.2):
+    clock = FakeClock()
+    timer = TrainingTimer(clock, model_creation_cap_s=cap)
+    timer.init_start()
+    clock.advance(init)
+    timer.init_stop()
+    timer.model_creation_start()
+    clock.advance(creation)
+    timer.model_creation_stop()
+    timer.run_start()
+    clock.advance(run)
+    timer.run_stop()
+    return timer
+
+
+class TestTimingProperties:
+    @given(durations, durations, durations)
+    @settings(max_examples=60, deadline=None)
+    def test_init_never_counts(self, init, creation, run):
+        """Time-to-train is independent of initialization duration."""
+        a = run_session(init, creation, run).time_to_train()
+        b = run_session(init + 500.0, creation, run).time_to_train()
+        assert a == pytest.approx(b)
+
+    @given(durations, durations)
+    @settings(max_examples=60, deadline=None)
+    def test_ttt_at_least_run_time(self, creation, run):
+        t = run_session(1.0, creation, run).time_to_train()
+        assert t >= run - 1e-9
+
+    @given(durations, durations, st.floats(0.1, 100.0))
+    @settings(max_examples=60, deadline=None)
+    def test_exclusion_bounded_by_cap(self, creation, run, cap):
+        """Excluded creation time never exceeds the cap (§3.2.1)."""
+        timer = run_session(1.0, creation, run, cap=cap)
+        breakdown = timer.breakdown()
+        assert breakdown.excluded_model_creation_seconds <= cap + 1e-9
+        assert breakdown.time_to_train_seconds == pytest.approx(
+            run + max(creation - cap, 0.0), abs=1e-6
+        )
+
+    @given(durations, durations, durations)
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_run_time(self, creation, run, extra):
+        a = run_session(1.0, creation, run).time_to_train()
+        b = run_session(1.0, creation, run + extra).time_to_train()
+        assert b >= a - 1e-9
+
+    @given(durations, durations)
+    @settings(max_examples=60, deadline=None)
+    def test_creation_overflow_monotone(self, run, extra):
+        """More model-creation time never reduces the scored time."""
+        a = run_session(1.0, 0.5, run).time_to_train()
+        b = run_session(1.0, 0.5 + extra, run).time_to_train()
+        assert b >= a - 1e-9

@@ -1,0 +1,84 @@
+"""Suite versioning: typed spec changes between rounds."""
+
+import pytest
+
+from repro.core.versioning import SpecChange, SuiteVersion, V06_CHANGES, apply_version
+from repro.suite import create_benchmark
+
+
+@pytest.fixture()
+def specs():
+    return {name: create_benchmark(name).spec
+            for name in ("image_classification", "translation_recurrent")}
+
+
+class TestSpecChange:
+    def test_raise_threshold(self, specs):
+        change = SpecChange("image_classification", "raise_threshold",
+                            "raise", new_threshold=0.95)
+        new = change.apply(specs["image_classification"])
+        assert new.quality_threshold == 0.95
+        # original untouched (immutability)
+        assert specs["image_classification"].quality_threshold == 0.90
+
+    def test_threshold_may_only_rise(self, specs):
+        change = SpecChange("image_classification", "raise_threshold",
+                            "lower?!", new_threshold=0.5)
+        with pytest.raises(ValueError, match="only raise"):
+            change.apply(specs["image_classification"])
+
+    def test_allow_hyperparameter(self, specs):
+        spec = specs["image_classification"]
+        assert "momentum" not in spec.modifiable_hyperparameters
+        change = SpecChange("image_classification", "allow_hyperparameter",
+                            "open momentum", hyperparameter="momentum")
+        new = change.apply(spec)
+        assert "momentum" in new.modifiable_hyperparameters
+
+    def test_allow_unknown_hp_rejected(self, specs):
+        change = SpecChange("image_classification", "allow_hyperparameter",
+                            "?", hyperparameter="nonexistent")
+        with pytest.raises(ValueError):
+            change.apply(specs["image_classification"])
+
+    def test_change_default(self, specs):
+        change = SpecChange("image_classification", "change_default",
+                            "bigger batches", hyperparameter="batch_size", new_default=128)
+        new = change.apply(specs["image_classification"])
+        assert new.default_hyperparameters["batch_size"] == 128
+
+    def test_wrong_benchmark_rejected(self, specs):
+        change = SpecChange("recommendation", "raise_threshold", "x", new_threshold=1.0)
+        with pytest.raises(ValueError, match="targets"):
+            change.apply(specs["image_classification"])
+
+    def test_unknown_kind(self, specs):
+        change = SpecChange("image_classification", "teleport", "x")
+        with pytest.raises(ValueError, match="unknown change kind"):
+            change.apply(specs["image_classification"])
+
+
+class TestSuiteVersion:
+    def test_v06_applies(self, specs):
+        updated = apply_version(specs, V06_CHANGES)
+        assert updated["image_classification"].quality_threshold == 0.91
+        assert updated["translation_recurrent"].quality_threshold == 40.0
+
+    def test_old_submission_fails_new_round(self, specs):
+        """A run that met v0.5's target may miss v0.6's raised target."""
+        old = specs["translation_recurrent"]
+        new = apply_version(specs, V06_CHANGES)["translation_recurrent"]
+        borderline_quality = 39.0
+        assert borderline_quality >= old.quality_threshold
+        assert borderline_quality < new.quality_threshold
+
+    def test_unknown_benchmark_in_version(self, specs):
+        version = SuiteVersion("vX", (SpecChange("bogus", "raise_threshold", "x",
+                                                 new_threshold=1.0),))
+        with pytest.raises(KeyError):
+            apply_version(specs, version)
+
+    def test_changelog_renders(self):
+        text = V06_CHANGES.changelog()
+        assert "v0.6-mini" in text
+        assert "LARS" in text

@@ -1,0 +1,95 @@
+"""Fractal expansion: scale grows, distributional shape preserved."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import InteractionConfig, SyntheticInteractions
+from repro.datasets.fractal import expand_interactions
+
+
+@pytest.fixture(scope="module")
+def base_data():
+    return SyntheticInteractions(
+        InteractionConfig(num_users=40, num_items=120, num_eval_negatives=30)
+    )
+
+
+class TestExpansion:
+    def test_id_spaces_grow(self, base_data):
+        exp = expand_interactions(
+            base_data.train_users, base_data.train_items,
+            base_data.config.num_users, base_data.config.num_items,
+            user_factor=4, item_factor=3,
+        )
+        assert exp.num_users == 40 * 4
+        assert exp.num_items == 120 * 3
+        assert exp.users.max() < exp.num_users
+        assert exp.items.max() < exp.num_items
+
+    def test_interaction_count_scales_with_density(self, base_data):
+        n = len(base_data.train_users)
+        exp = expand_interactions(
+            base_data.train_users, base_data.train_items, 40, 120,
+            user_factor=4, item_factor=4, seed_density=0.5,
+        )
+        assert len(exp.users) == n * 8  # 16 cells * 0.5
+
+    def test_popularity_skew_preserved(self, base_data):
+        """The long-tail shape survives expansion (the Belletti et al. point)."""
+
+        def top_decile_share(items, num_items):
+            counts = np.bincount(items, minlength=num_items)
+            counts = np.sort(counts)
+            return counts[-num_items // 10 :].sum() / max(counts.sum(), 1)
+
+        before = top_decile_share(base_data.train_items, 120)
+        exp = expand_interactions(
+            base_data.train_users, base_data.train_items, 40, 120,
+            user_factor=3, item_factor=3, seed_density=0.5,
+        )
+        after = top_decile_share(exp.items, exp.num_items)
+        assert after == pytest.approx(before, abs=0.1)
+
+    def test_user_activity_preserved(self, base_data):
+        before = np.bincount(base_data.train_users, minlength=40)
+        exp = expand_interactions(
+            base_data.train_users, base_data.train_items, 40, 120,
+            user_factor=2, item_factor=2, seed_density=1.0,
+        )
+        after = np.bincount(exp.users, minlength=exp.num_users)
+        # With full density each original user splits into `user_factor`
+        # expanded users each carrying item_factor times the interactions.
+        for u in range(40):
+            for k in range(2):
+                assert after[u * 2 + k] == before[u] * 2
+
+    def test_block_structure(self):
+        """An edge (u, i) only spawns edges inside its (u, i) block."""
+        exp = expand_interactions(
+            np.array([3]), np.array([7]), 10, 20, user_factor=4, item_factor=5,
+            seed_density=1.0,
+        )
+        assert set(exp.users.tolist()) <= set(range(12, 16))
+        assert set(exp.items.tolist()) <= set(range(35, 40))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expand_interactions(np.array([0]), np.array([0]), 1, 1, 0, 1)
+        with pytest.raises(ValueError):
+            expand_interactions(np.array([0]), np.array([0]), 1, 1, 2, 2, seed_density=0.0)
+        with pytest.raises(ValueError):
+            expand_interactions(np.array([0, 1]), np.array([0]), 2, 1, 2, 2)
+
+    @given(st.integers(1, 4), st.integers(1, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_expansion_deterministic(self, ku, ki):
+        users = np.arange(10) % 5
+        items = np.arange(10) % 7
+        a = expand_interactions(users, items, 5, 7, ku, ki,
+                                rng=np.random.default_rng(3))
+        b = expand_interactions(users, items, 5, 7, ku, ki,
+                                rng=np.random.default_rng(3))
+        np.testing.assert_array_equal(a.users, b.users)
+        np.testing.assert_array_equal(a.items, b.items)

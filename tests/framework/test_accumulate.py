@@ -1,0 +1,87 @@
+"""Gradient accumulation: equivalence with large-batch steps."""
+
+import numpy as np
+import pytest
+
+from repro.framework import Linear, ReLU, SGD, Sequential, Tensor, functional as F
+from repro.framework.accumulate import GradientAccumulator
+
+
+def make_model(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(Linear(6, 10, rng), ReLU(), Linear(10, 3, rng))
+
+
+def batch(n=32, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(n, 6)).astype(np.float32), rng.integers(0, 3, size=n)
+
+
+def loss_of(model, x, y):
+    return F.cross_entropy(model(Tensor(x)), y)
+
+
+class TestAccumulator:
+    def test_equivalent_to_large_batch(self):
+        """4 micro-batches of 8 == one batch of 32 (mean loss)."""
+        x, y = batch(32)
+
+        big_model = make_model(1)
+        big_opt = SGD(big_model.parameters(), lr=0.1)
+        for _ in range(3):
+            big_model.zero_grad()
+            loss_of(big_model, x, y).backward()
+            big_opt.step()
+
+        acc_model = make_model(1)
+        acc = GradientAccumulator(acc_model, SGD(acc_model.parameters(), lr=0.1), 4)
+        for _ in range(3):
+            for k in range(4):
+                xs, ys = x[k * 8 : (k + 1) * 8], y[k * 8 : (k + 1) * 8]
+                acc.backward(loss_of(acc_model, xs, ys))
+
+        for pa, pb in zip(big_model.parameters(), acc_model.parameters()):
+            np.testing.assert_allclose(pa.data, pb.data, rtol=1e-4, atol=1e-6)
+
+    def test_step_applied_only_at_boundary(self):
+        model = make_model(2)
+        acc = GradientAccumulator(model, SGD(model.parameters(), lr=0.1), 3)
+        x, y = batch(8)
+        before = model.layers[0].weight.data.copy()
+        assert not acc.backward(loss_of(model, x, y))
+        assert not acc.backward(loss_of(model, x, y))
+        np.testing.assert_array_equal(model.layers[0].weight.data, before)
+        assert acc.backward(loss_of(model, x, y))
+        assert not np.array_equal(model.layers[0].weight.data, before)
+        assert acc.pending_micro_steps == 0
+
+    def test_flush_applies_leftover(self):
+        model = make_model(3)
+        acc = GradientAccumulator(model, SGD(model.parameters(), lr=0.1), 4)
+        x, y = batch(8)
+        acc.backward(loss_of(model, x, y))
+        before = model.layers[0].weight.data.copy()
+        assert acc.flush()
+        assert not np.array_equal(model.layers[0].weight.data, before)
+        assert not acc.flush()  # nothing left
+
+    def test_flush_rescales_to_mean(self):
+        """Flushing after 2 of 4 micro-batches equals a 2-micro-batch mean."""
+        x, y = batch(16)
+        ref_model = make_model(4)
+        ref_opt = SGD(ref_model.parameters(), lr=0.1)
+        loss_of(ref_model, x, y).backward()
+        ref_opt.step()
+
+        acc_model = make_model(4)
+        acc = GradientAccumulator(acc_model, SGD(acc_model.parameters(), lr=0.1), 4)
+        acc.backward(loss_of(acc_model, x[:8], y[:8]))
+        acc.backward(loss_of(acc_model, x[8:], y[8:]))
+        acc.flush()
+        for pa, pb in zip(ref_model.parameters(), acc_model.parameters()):
+            np.testing.assert_allclose(pa.data, pb.data, rtol=1e-4, atol=1e-6)
+
+    def test_validation(self):
+        model = make_model()
+        with pytest.raises(ValueError):
+            GradientAccumulator(model, SGD(model.parameters(), lr=0.1), 0)

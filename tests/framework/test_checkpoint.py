@@ -1,0 +1,90 @@
+"""Checkpointing: exact state capture and bit-exact training resume."""
+
+import numpy as np
+import pytest
+
+from repro.framework import Adam, LARS, Linear, ReLU, SGD, Sequential, Tensor, functional as F
+from repro.framework.checkpoint import load_checkpoint, save_checkpoint
+
+
+def make_model(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(Linear(6, 12, rng), ReLU(), Linear(12, 3, rng))
+
+
+def train_steps(model, opt, steps, seed=0):
+    rng = np.random.default_rng(seed)
+    for _ in range(steps):
+        x = rng.normal(size=(16, 6)).astype(np.float32)
+        y = rng.integers(0, 3, size=16)
+        loss = F.cross_entropy(model(Tensor(x)), y)
+        model.zero_grad()
+        loss.backward()
+        opt.step()
+
+
+class TestCheckpoint:
+    def test_model_roundtrip(self, tmp_path):
+        model = make_model(1)
+        path = save_checkpoint(tmp_path / "ckpt", model)
+        assert path.suffix == ".npz"
+        other = make_model(2)
+        load_checkpoint(path, other)
+        for (na, pa), (nb, pb) in zip(model.named_parameters(), other.named_parameters()):
+            assert na == nb
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_metadata_roundtrip(self, tmp_path):
+        model = make_model()
+        path = save_checkpoint(tmp_path / "c", model, metadata={"epoch": 7, "quality": 0.93})
+        meta = load_checkpoint(path, make_model())
+        assert int(meta["epoch"]) == 7
+        assert float(meta["quality"]) == pytest.approx(0.93)
+
+    @pytest.mark.parametrize("opt_cls,kwargs", [
+        (SGD, {"lr": 0.1, "momentum": 0.9}),
+        (Adam, {"lr": 1e-3}),
+        (LARS, {"lr": 0.1, "momentum": 0.9}),
+    ])
+    def test_resume_is_bit_exact(self, tmp_path, opt_cls, kwargs):
+        """Train 5+5 with a checkpoint at step 5 == train 10 straight."""
+        # Straight run.
+        model_a = make_model(3)
+        opt_a = opt_cls(model_a.parameters(), **kwargs)
+        train_steps(model_a, opt_a, 5, seed=10)
+        train_steps(model_a, opt_a, 5, seed=11)
+
+        # Checkpointed run.
+        model_b = make_model(3)
+        opt_b = opt_cls(model_b.parameters(), **kwargs)
+        train_steps(model_b, opt_b, 5, seed=10)
+        path = save_checkpoint(tmp_path / "mid", model_b, opt_b)
+
+        model_c = make_model(99)  # different init, fully restored below
+        opt_c = opt_cls(model_c.parameters(), **kwargs)
+        load_checkpoint(path, model_c, opt_c)
+        train_steps(model_c, opt_c, 5, seed=11)
+
+        for pa, pc in zip(model_a.parameters(), model_c.parameters()):
+            np.testing.assert_array_equal(pa.data, pc.data)
+
+    def test_lr_and_step_count_restored(self, tmp_path):
+        model = make_model(4)
+        opt = SGD(model.parameters(), lr=0.1, momentum=0.9)
+        train_steps(model, opt, 3)
+        opt.lr = 0.01  # simulate a schedule change
+        path = save_checkpoint(tmp_path / "s", model, opt)
+
+        model2 = make_model(4)
+        opt2 = SGD(model2.parameters(), lr=999.0, momentum=0.9)
+        load_checkpoint(path, model2, opt2)
+        assert opt2.lr == pytest.approx(0.01)
+        assert opt2.step_count == 3
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        model = make_model()
+        path = save_checkpoint(tmp_path / "m", model)
+        rng = np.random.default_rng(0)
+        wrong = Sequential(Linear(5, 12, rng), ReLU(), Linear(12, 3, rng))
+        with pytest.raises(ValueError):
+            load_checkpoint(path, wrong)

@@ -1,0 +1,102 @@
+"""Edge cases across the framework: grad modes, scalar promotion, shapes."""
+
+import numpy as np
+import pytest
+
+from repro.framework import (
+    Linear,
+    Parameter,
+    SGD,
+    Tensor,
+    functional as F,
+    no_grad,
+)
+
+
+class TestGradModes:
+    def test_no_grad_nests(self):
+        from repro.framework import is_grad_enabled
+
+        assert is_grad_enabled()
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()  # inner exit restores *outer* state
+        assert is_grad_enabled()
+
+    def test_no_grad_exception_safe(self):
+        from repro.framework import is_grad_enabled
+
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+    def test_parameter_created_inside_no_grad_still_trains(self):
+        with no_grad():
+            p = Parameter(np.ones(3, dtype=np.float32))
+        assert p.requires_grad
+        (p * 2.0).sum().backward()
+        np.testing.assert_allclose(p.grad, 2.0)
+
+    def test_graph_not_built_under_no_grad(self):
+        p = Parameter(np.ones(3, dtype=np.float32))
+        with no_grad():
+            out = p * 3.0
+        assert out._backward is None
+        assert not out.requires_grad
+
+
+class TestScalarPromotion:
+    def test_float32_stays_float32_with_python_scalars(self):
+        x = Tensor(np.ones(4, dtype=np.float32))
+        for result in (x + 1e-5, x * 2.0, x - 0.5, x / 3.0, 1.0 - x, 2.0 / (x + 1.0)):
+            assert result.dtype == np.float32, result.dtype
+
+    def test_float64_keeps_scalar_precision(self):
+        x = Tensor(np.zeros(1, dtype=np.float64))
+        y = x + (1.0 / 3.0)
+        assert y.dtype == np.float64
+        assert y.data[0] == pytest.approx(1.0 / 3.0, abs=1e-16)
+
+    def test_numpy_scalar_operand_promotes(self):
+        # np scalars are strongly typed: float64 scalar promotes float32.
+        x = Tensor(np.ones(2, dtype=np.float32))
+        assert (x + np.float64(1.0)).dtype == np.float64
+
+    def test_mixed_tensor_dtypes_promote(self):
+        a = Tensor(np.ones(2, dtype=np.float32))
+        b = Tensor(np.ones(2, dtype=np.float64))
+        assert (a + b).dtype == np.float64
+
+
+class TestShapeEdges:
+    def test_zero_size_batch_through_linear(self):
+        layer = Linear(4, 2, np.random.default_rng(0))
+        out = layer(Tensor(np.zeros((0, 4), dtype=np.float32)))
+        assert out.shape == (0, 2)
+
+    def test_single_sample_cross_entropy(self):
+        logits = Tensor(np.zeros((1, 5)), requires_grad=True)
+        loss = F.cross_entropy(logits, np.array([2]))
+        loss.backward()
+        assert logits.grad.shape == (1, 5)
+
+    def test_all_targets_ignored(self):
+        logits = Tensor(np.random.default_rng(0).normal(size=(3, 4)), requires_grad=True)
+        loss = F.cross_entropy(logits, np.full(3, -1), ignore_index=-1)
+        assert float(loss.data) == 0.0
+        loss.backward()
+        np.testing.assert_allclose(logits.grad, 0.0)
+
+    def test_optimizer_on_scalar_parameter(self):
+        p = Parameter(np.array(5.0, dtype=np.float32))
+        opt = SGD([p], lr=0.5)
+        p.grad = np.array(2.0, dtype=np.float32)
+        opt.step()
+        assert p.data == pytest.approx(4.0)
+
+    def test_reshape_zero_dim(self):
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        y = x.reshape(6)[0:0]
+        assert y.shape == (0,)

@@ -1,0 +1,183 @@
+"""Losses and activations: values against closed forms, gradients against FD."""
+
+import numpy as np
+import pytest
+
+from repro.framework import Tensor, functional as F
+from tests.helpers import check_gradient
+
+RNG = np.random.default_rng(7)
+
+
+class TestSoftmax:
+    def test_softmax_rows_sum_to_one(self):
+        x = Tensor(RNG.normal(size=(5, 7)))
+        s = F.softmax(x)
+        np.testing.assert_allclose(s.data.sum(axis=-1), 1.0, atol=1e-12)
+
+    def test_softmax_shift_invariance(self):
+        x = RNG.normal(size=(3, 4))
+        a = F.softmax(Tensor(x)).data
+        b = F.softmax(Tensor(x + 100.0)).data
+        np.testing.assert_allclose(a, b, atol=1e-10)
+
+    def test_softmax_gradient(self):
+        w = Tensor(RNG.normal(size=(3, 4)))
+        check_gradient(lambda x: F.softmax(x, axis=-1) * w, RNG.normal(size=(3, 4)))
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = Tensor(RNG.normal(size=(4, 6)))
+        np.testing.assert_allclose(F.log_softmax(x).data, np.log(F.softmax(x).data), atol=1e-10)
+
+    def test_log_softmax_gradient(self):
+        w = Tensor(RNG.normal(size=(3, 5)))
+        check_gradient(lambda x: F.log_softmax(x, axis=-1) * w, RNG.normal(size=(3, 5)))
+
+    def test_log_softmax_large_logits_stable(self):
+        x = Tensor(np.array([[1000.0, 0.0, -1000.0]]))
+        out = F.log_softmax(x)
+        assert np.all(np.isfinite(out.data))
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_give_log_c(self):
+        logits = Tensor(np.zeros((4, 10)))
+        loss = F.cross_entropy(logits, np.arange(4) % 10)
+        np.testing.assert_allclose(loss.data, np.log(10), atol=1e-6)
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.full((3, 5), -100.0)
+        logits[np.arange(3), [0, 1, 2]] = 100.0
+        loss = F.cross_entropy(Tensor(logits), np.array([0, 1, 2]))
+        assert loss.data < 1e-6
+
+    def test_gradient(self):
+        targets = np.array([1, 0, 3])
+        check_gradient(lambda x: F.cross_entropy(x, targets), RNG.normal(size=(3, 4)))
+
+    def test_ignore_index(self):
+        logits = RNG.normal(size=(4, 5))
+        targets = np.array([1, 2, -1, 3])
+        full = F.cross_entropy(Tensor(logits), targets, ignore_index=-1)
+        subset = F.cross_entropy(Tensor(logits[[0, 1, 3]]), targets[[0, 1, 3]])
+        np.testing.assert_allclose(full.data, subset.data, atol=1e-6)
+
+    def test_ignore_index_zero_grad_on_ignored(self):
+        logits = Tensor(RNG.normal(size=(3, 4)), requires_grad=True)
+        F.cross_entropy(logits, np.array([0, -1, 2]), ignore_index=-1).backward()
+        softmax_row1 = np.exp(logits.data[1]) / np.exp(logits.data[1]).sum()
+        # Ignored rows still receive the softmax-sum term? No: grad must be 0.
+        np.testing.assert_allclose(logits.grad[1], 0.0, atol=1e-7)
+        del softmax_row1
+
+    def test_label_smoothing_increases_loss_on_confident_model(self):
+        logits = np.full((2, 4), -50.0)
+        logits[:, 0] = 50.0
+        targets = np.zeros(2, dtype=int)
+        plain = F.cross_entropy(Tensor(logits), targets).data
+        smooth = F.cross_entropy(Tensor(logits), targets, label_smoothing=0.1).data
+        assert smooth > plain
+
+    def test_label_smoothing_gradient(self):
+        targets = np.array([1, 0, 3])
+        check_gradient(
+            lambda x: F.cross_entropy(x, targets, label_smoothing=0.1),
+            RNG.normal(size=(3, 4)),
+        )
+
+    def test_sum_reduction(self):
+        logits = RNG.normal(size=(3, 4))
+        targets = np.array([0, 1, 2])
+        mean = F.cross_entropy(Tensor(logits), targets, reduction="mean").data
+        total = F.cross_entropy(Tensor(logits), targets, reduction="sum").data
+        np.testing.assert_allclose(total, mean * 3, rtol=1e-6)
+
+
+class TestBCE:
+    def test_matches_naive_formula(self):
+        x = RNG.normal(size=(4, 3))
+        t = (RNG.random((4, 3)) > 0.5).astype(np.float64)
+        loss = F.binary_cross_entropy_with_logits(Tensor(x), t)
+        p = 1 / (1 + np.exp(-x))
+        expected = -(t * np.log(p) + (1 - t) * np.log(1 - p)).mean()
+        np.testing.assert_allclose(loss.data, expected, rtol=1e-6)
+
+    def test_extreme_logits_stable(self):
+        x = Tensor(np.array([1000.0, -1000.0]))
+        loss = F.binary_cross_entropy_with_logits(x, np.array([1.0, 0.0]))
+        assert np.isfinite(loss.data)
+        assert loss.data < 1e-6
+
+    def test_gradient(self):
+        t = (RNG.random((3, 4)) > 0.5).astype(np.float64)
+        check_gradient(lambda x: F.binary_cross_entropy_with_logits(x, t), RNG.normal(size=(3, 4)))
+
+    def test_weighted(self):
+        x = RNG.normal(size=(4,))
+        t = np.array([1.0, 0.0, 1.0, 0.0])
+        w = np.array([2.0, 0.0, 1.0, 1.0])
+        loss = F.binary_cross_entropy_with_logits(Tensor(x), t, weight=w)
+        base = np.maximum(x, 0) - x * t + np.log1p(np.exp(-np.abs(x)))
+        np.testing.assert_allclose(loss.data, (base * w).mean(), rtol=1e-6)
+
+
+class TestRegressionLosses:
+    def test_mse_value(self):
+        pred = Tensor(np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_allclose(F.mse_loss(pred, np.array([1.0, 1.0, 1.0])).data, (0 + 1 + 4) / 3)
+
+    def test_mse_gradient(self):
+        t = RNG.normal(size=(3, 4))
+        check_gradient(lambda x: F.mse_loss(x, t), RNG.normal(size=(3, 4)))
+
+    def test_smooth_l1_quadratic_region(self):
+        pred = Tensor(np.array([0.5]))
+        loss = F.smooth_l1_loss(pred, np.array([0.0]), beta=1.0)
+        np.testing.assert_allclose(loss.data, 0.125)
+
+    def test_smooth_l1_linear_region(self):
+        pred = Tensor(np.array([3.0]))
+        loss = F.smooth_l1_loss(pred, np.array([0.0]), beta=1.0)
+        np.testing.assert_allclose(loss.data, 2.5)
+
+    def test_smooth_l1_gradient(self):
+        t = np.zeros((3, 4))
+        data = RNG.normal(size=(3, 4)) * 2
+        data[np.abs(np.abs(data) - 1.0) < 0.05] += 0.2  # keep away from the kink
+        check_gradient(lambda x: F.smooth_l1_loss(x, t), data)
+
+
+class TestDropoutAndGelu:
+    def test_dropout_eval_is_identity(self):
+        x = Tensor(RNG.normal(size=(10, 10)))
+        out = F.dropout(x, 0.5, RNG, training=False)
+        assert out is x
+
+    def test_dropout_preserves_expectation(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, 0.3, rng, training=True)
+        np.testing.assert_allclose(out.data.mean(), 1.0, atol=0.02)
+
+    def test_dropout_zero_p_identity(self):
+        x = Tensor(RNG.normal(size=(4, 4)))
+        assert F.dropout(x, 0.0, RNG, training=True) is x
+
+    def test_gelu_known_values(self):
+        x = Tensor(np.array([0.0]))
+        np.testing.assert_allclose(F.gelu(x).data, [0.0], atol=1e-7)
+        x = Tensor(np.array([10.0]))
+        np.testing.assert_allclose(F.gelu(x).data, [10.0], atol=1e-4)
+
+    def test_gelu_gradient(self):
+        check_gradient(F.gelu, RNG.normal(size=(3, 4)))
+
+
+class TestNLL:
+    def test_nll_shape_validation(self):
+        with pytest.raises(ValueError):
+            F.nll_loss(Tensor(RNG.normal(size=(3, 4))), np.array([0, 1]))
+
+    def test_unknown_reduction(self):
+        with pytest.raises(ValueError):
+            F.nll_loss(Tensor(RNG.normal(size=(2, 3))), np.array([0, 1]), reduction="bogus")

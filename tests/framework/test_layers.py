@@ -1,0 +1,229 @@
+"""Layer behaviour: shapes, train/eval semantics, state dicts, gradients."""
+
+import numpy as np
+import pytest
+
+from repro.framework import (
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Embedding,
+    Flatten,
+    LayerNorm,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Tensor,
+)
+from tests.helpers import check_gradient
+
+RNG = np.random.default_rng(11)
+
+
+class TestLinear:
+    def test_shapes(self):
+        layer = Linear(8, 3, RNG)
+        out = layer(Tensor(RNG.normal(size=(5, 8)).astype(np.float32)))
+        assert out.shape == (5, 3)
+
+    def test_no_bias(self):
+        layer = Linear(4, 2, RNG, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_batched_3d_input(self):
+        layer = Linear(6, 4, RNG)
+        out = layer(Tensor(RNG.normal(size=(2, 5, 6)).astype(np.float32)))
+        assert out.shape == (2, 5, 4)
+
+    def test_gradient_through_layer(self):
+        layer = Linear(4, 3, RNG)
+        layer.weight.data = layer.weight.data.astype(np.float64)
+        layer.bias.data = layer.bias.data.astype(np.float64)
+        check_gradient(lambda x: layer(x), RNG.normal(size=(2, 4)))
+
+
+class TestBatchNorm:
+    def test_normalizes_batch(self):
+        bn = BatchNorm2d(3)
+        x = Tensor(RNG.normal(loc=5.0, scale=3.0, size=(16, 3, 4, 4)))
+        out = bn(x)
+        np.testing.assert_allclose(out.data.mean(axis=(0, 2, 3)), 0.0, atol=1e-5)
+        np.testing.assert_allclose(out.data.std(axis=(0, 2, 3)), 1.0, atol=1e-2)
+
+    def test_running_stats_updated_in_train(self):
+        bn = BatchNorm2d(2, momentum=0.5)
+        x = Tensor(np.ones((4, 2, 3, 3)) * 10.0)
+        bn(x)
+        assert np.all(bn.running_mean > 0)
+
+    def test_eval_uses_running_stats(self):
+        bn = BatchNorm2d(2)
+        for _ in range(50):
+            bn(Tensor(RNG.normal(loc=2.0, size=(32, 2, 2, 2))))
+        bn.eval()
+        x = Tensor(np.full((1, 2, 2, 2), 2.0))
+        out = bn(x)
+        np.testing.assert_allclose(out.data, 0.0, atol=0.3)
+
+    def test_eval_no_stat_update(self):
+        bn = BatchNorm2d(2).eval()
+        before = bn.running_mean.copy()
+        bn(Tensor(RNG.normal(loc=9.0, size=(8, 2, 2, 2))))
+        np.testing.assert_allclose(bn.running_mean, before)
+
+    def test_bn1d(self):
+        bn = BatchNorm1d(4)
+        out = bn(Tensor(RNG.normal(loc=3.0, size=(32, 4))))
+        np.testing.assert_allclose(out.data.mean(axis=0), 0.0, atol=1e-6)
+
+    def test_gamma_beta_trainable(self):
+        bn = BatchNorm2d(2)
+        x = Tensor(RNG.normal(size=(4, 2, 3, 3)), requires_grad=True)
+        bn(x).sum().backward()
+        assert bn.gamma.grad is not None
+        assert bn.beta.grad is not None
+
+
+class TestLayerNorm:
+    def test_normalizes_features(self):
+        ln = LayerNorm(8)
+        x = Tensor(RNG.normal(loc=4.0, scale=2.0, size=(5, 8)))
+        out = ln(x)
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0.0, atol=1e-6)
+
+    def test_gradient(self):
+        ln = LayerNorm(6)
+        ln.gamma.data = ln.gamma.data.astype(np.float64)
+        ln.beta.data = ln.beta.data.astype(np.float64)
+        check_gradient(lambda x: ln(x), RNG.normal(size=(3, 6)))
+
+    def test_independent_of_batch(self):
+        # LayerNorm of a row must not depend on the other rows.
+        ln = LayerNorm(5)
+        x = RNG.normal(size=(4, 5))
+        full = ln(Tensor(x)).data
+        solo = ln(Tensor(x[1:2])).data
+        np.testing.assert_allclose(full[1:2], solo, atol=1e-7)
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        emb = Embedding(10, 4, RNG)
+        out = emb(np.array([1, 5, 1]))
+        assert out.shape == (3, 4)
+        np.testing.assert_allclose(out.data[0], out.data[2])
+
+    def test_2d_ids(self):
+        emb = Embedding(10, 4, RNG)
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_gradient_scatters(self):
+        emb = Embedding(5, 3, RNG)
+        out = emb(np.array([2, 2, 4]))
+        out.sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[2], 2.0)
+        np.testing.assert_allclose(emb.weight.grad[4], 1.0)
+        np.testing.assert_allclose(emb.weight.grad[0], 0.0)
+
+    def test_out_of_range_raises(self):
+        emb = Embedding(5, 3, RNG)
+        with pytest.raises(IndexError):
+            emb(np.array([5]))
+
+
+class TestDropoutLayer:
+    def test_train_vs_eval(self):
+        drop = Dropout(0.5, np.random.default_rng(0))
+        x = Tensor(np.ones((100, 100)))
+        train_out = drop(x)
+        assert (train_out.data == 0).sum() > 1000
+        drop.eval()
+        eval_out = drop(x)
+        np.testing.assert_allclose(eval_out.data, 1.0)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0, RNG)
+
+
+class TestModuleSystem:
+    def _net(self):
+        rng = np.random.default_rng(0)
+        return Sequential(Linear(4, 8, rng), ReLU(), Linear(8, 2, rng))
+
+    def test_parameters_discovered(self):
+        net = self._net()
+        assert len(net.parameters()) == 4  # 2 weights + 2 biases
+
+    def test_named_parameters_stable_names(self):
+        names = [n for n, _ in self._net().named_parameters()]
+        assert names == ["layers.0.weight", "layers.0.bias", "layers.2.weight", "layers.2.bias"]
+
+    def test_state_dict_roundtrip(self):
+        net1, net2 = self._net(), self._net()
+        net2.layers[0].weight.data += 1.0
+        net2.load_state_dict(net1.state_dict())
+        x = Tensor(RNG.normal(size=(3, 4)).astype(np.float32))
+        np.testing.assert_allclose(net1(x).data, net2(x).data)
+
+    def test_state_dict_missing_key_raises(self):
+        net = self._net()
+        state = net.state_dict()
+        del state["layers.0.weight"]
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_state_dict_shape_mismatch_raises(self):
+        net = self._net()
+        state = net.state_dict()
+        state["layers.0.weight"] = np.zeros((1, 1), dtype=np.float32)
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+    def test_train_eval_propagates(self):
+        rng = np.random.default_rng(0)
+        net = Sequential(Linear(2, 2, rng), Dropout(0.5, rng))
+        net.eval()
+        assert not net.layers[1].training
+        net.train()
+        assert net.layers[1].training
+
+    def test_zero_grad(self):
+        net = self._net()
+        x = Tensor(RNG.normal(size=(3, 4)).astype(np.float32))
+        net(x).sum().backward()
+        assert net.parameters()[0].grad is not None
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+    def test_num_parameters(self):
+        net = self._net()
+        assert net.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_nested_module_discovery(self):
+        class Outer(Module):
+            def __init__(self):
+                super().__init__()
+                rng = np.random.default_rng(0)
+                self.block = Sequential(Linear(2, 2, rng))
+                self.head = Linear(2, 1, rng)
+                self.scale = Parameter(np.ones(1, dtype=np.float32))
+
+        names = {n for n, _ in Outer().named_parameters()}
+        assert "block.layers.0.weight" in names
+        assert "head.weight" in names
+        assert "scale" in names
+
+    def test_flatten(self):
+        out = Flatten()(Tensor(RNG.normal(size=(2, 3, 4))))
+        assert out.shape == (2, 12)
+
+    def test_conv2d_layer(self):
+        conv = Conv2d(3, 5, 3, RNG, stride=1, padding=1)
+        out = conv(Tensor(RNG.normal(size=(2, 3, 8, 8)).astype(np.float32)))
+        assert out.shape == (2, 5, 8, 8)

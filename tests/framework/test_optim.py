@@ -1,0 +1,182 @@
+"""Optimizer semantics — including the §2.2.4 momentum-formulation study."""
+
+import numpy as np
+import pytest
+
+from repro.framework import LARS, SGD, Adam, Parameter, Tensor, clip_grad_norm
+
+
+def quadratic_param(value=5.0):
+    return Parameter(np.array([value], dtype=np.float64))
+
+
+def step_quadratic(opt, p, times=1):
+    """Take optimizer steps on f(w) = 0.5 w^2 (gradient = w)."""
+    for _ in range(times):
+        p.grad = p.data.copy()
+        opt.step()
+        p.grad = None
+
+
+class TestSGD:
+    def test_plain_sgd_update(self):
+        p = quadratic_param(1.0)
+        opt = SGD([p], lr=0.1)
+        step_quadratic(opt, p)
+        np.testing.assert_allclose(p.data, [0.9])
+
+    def test_converges_on_quadratic(self):
+        p = quadratic_param(10.0)
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        step_quadratic(opt, p, times=200)
+        assert abs(p.data[0]) < 1e-3
+
+    def test_weight_decay(self):
+        p = Parameter(np.array([2.0]))
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.array([0.0], dtype=p.data.dtype)
+        opt.step()
+        np.testing.assert_allclose(p.data, [2.0 - 0.1 * 0.5 * 2.0], rtol=1e-6)
+
+    def test_invalid_style_raises(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_param()], lr=0.1, momentum_style="mxnet")
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_momentum_styles_identical_at_constant_lr(self):
+        """§2.2.4: the two formulations coincide when lr never changes."""
+        p1, p2 = quadratic_param(3.0), quadratic_param(3.0)
+        o1 = SGD([p1], lr=0.05, momentum=0.9, momentum_style="caffe")
+        o2 = SGD([p2], lr=0.05, momentum=0.9, momentum_style="torch")
+        for _ in range(30):
+            step_quadratic(o1, p1)
+            step_quadratic(o2, p2)
+        np.testing.assert_allclose(p1.data, p2.data, rtol=1e-10)
+
+    def test_momentum_styles_diverge_when_lr_changes(self):
+        """§2.2.4: they are NOT mathematically identical under lr decay."""
+        p1, p2 = quadratic_param(3.0), quadratic_param(3.0)
+        o1 = SGD([p1], lr=0.05, momentum=0.9, momentum_style="caffe")
+        o2 = SGD([p2], lr=0.05, momentum=0.9, momentum_style="torch")
+        for i in range(30):
+            if i == 10:
+                o1.lr = o2.lr = 0.005  # decay mid-training
+            step_quadratic(o1, p1)
+            step_quadratic(o2, p2)
+        assert not np.allclose(p1.data, p2.data, rtol=1e-4)
+
+    def test_hyperparameters_reported(self):
+        opt = SGD([quadratic_param()], lr=0.1, momentum=0.9, momentum_style="caffe")
+        hp = opt.hyperparameters()
+        assert hp["momentum_style"] == "caffe"
+        assert hp["lr"] == 0.1
+
+    def test_none_grad_skipped(self):
+        p = quadratic_param(1.0)
+        opt = SGD([p], lr=0.1)
+        opt.step()  # no grad set: parameter unchanged
+        np.testing.assert_allclose(p.data, [1.0])
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param(10.0)
+        opt = Adam([p], lr=0.5)
+        step_quadratic(opt, p, times=300)
+        assert abs(p.data[0]) < 1e-2
+
+    def test_first_step_magnitude_is_lr(self):
+        # With bias correction, the first Adam step is ~lr in magnitude.
+        p = quadratic_param(1.0)
+        opt = Adam([p], lr=0.1)
+        step_quadratic(opt, p)
+        np.testing.assert_allclose(p.data, [0.9], atol=1e-6)
+
+    def test_invariant_to_gradient_scale(self):
+        p1, p2 = quadratic_param(1.0), quadratic_param(1.0)
+        o1, o2 = Adam([p1], lr=0.1), Adam([p2], lr=0.1)
+        for _ in range(10):
+            p1.grad = p1.data.copy()
+            p2.grad = p2.data * 1000.0
+            o1.step()
+            o2.step()
+        np.testing.assert_allclose(p1.data, p2.data, rtol=1e-4)
+
+    def test_weight_decay(self):
+        p = Parameter(np.array([2.0]))
+        opt = Adam([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.array([0.0], dtype=p.data.dtype)
+        opt.step()
+        assert p.data[0] < 2.0
+
+
+class TestLARS:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param(5.0)
+        opt = LARS([p], lr=1.0, trust_coefficient=0.1)
+        step_quadratic(opt, p, times=500)
+        assert abs(p.data[0]) < 0.5
+
+    def test_update_ratio_uniform_across_scales(self):
+        # LARS normalizes per-layer: relative update size should be similar
+        # for a tiny-norm and a large-norm layer given equal-direction grads.
+        small = Parameter(np.full(4, 0.01))
+        large = Parameter(np.full(4, 100.0))
+        opt = LARS([small, large], lr=1.0, momentum=0.0, trust_coefficient=0.01)
+        small.grad = np.ones(4, dtype=small.data.dtype)
+        large.grad = np.ones(4, dtype=large.data.dtype)
+        s0, l0 = np.linalg.norm(small.data), np.linalg.norm(large.data)
+        opt.step()
+        ds = np.linalg.norm(small.data - np.full(4, 0.01)) / s0
+        dl = np.linalg.norm(large.data - np.full(4, 100.0)) / l0
+        np.testing.assert_allclose(ds, dl, rtol=1e-6)
+
+    def test_zero_weight_norm_falls_back(self):
+        p = Parameter(np.zeros(3))
+        opt = LARS([p], lr=0.1)
+        p.grad = np.ones(3, dtype=p.data.dtype)
+        opt.step()  # must not divide by zero
+        assert np.all(np.isfinite(p.data))
+
+
+class TestClipGradNorm:
+    def test_clips_to_max(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 10.0, dtype=p.data.dtype)
+        norm = clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(norm, 20.0)
+        np.testing.assert_allclose(np.linalg.norm(p.grad), 1.0, rtol=1e-6)
+
+    def test_no_clip_below_max(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 0.1, dtype=p.data.dtype)
+        clip_grad_norm([p], max_norm=10.0)
+        np.testing.assert_allclose(p.grad, 0.1)
+
+    def test_handles_none_grads(self):
+        p = Parameter(np.zeros(4))
+        assert clip_grad_norm([p], 1.0) == 0.0
+
+
+class TestTrainingIntegration:
+    def test_linear_regression_recovers_weights(self):
+        """End-to-end: the framework can fit a known linear model."""
+        from repro.framework import Linear
+
+        rng = np.random.default_rng(0)
+        true_w = np.array([[2.0, -3.0, 0.5]], dtype=np.float32)
+        x = rng.normal(size=(256, 3)).astype(np.float32)
+        y = x @ true_w.T + 1.0
+        layer = Linear(3, 1, rng)
+        opt = SGD(layer.parameters(), lr=0.1)
+        for _ in range(300):
+            pred = layer(Tensor(x))
+            loss = ((pred - Tensor(y)) ** 2).mean()
+            layer.zero_grad()
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(layer.weight.data, true_w, atol=0.02)
+        np.testing.assert_allclose(layer.bias.data, [1.0], atol=0.02)

@@ -1,0 +1,155 @@
+"""LSTM and Transformer block behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.framework import (
+    LSTM,
+    LSTMCell,
+    MultiHeadAttention,
+    Tensor,
+    TransformerDecoderLayer,
+    TransformerEncoderLayer,
+    causal_mask,
+    positional_encoding,
+)
+
+RNG = np.random.default_rng(5)
+
+
+class TestLSTMCell:
+    def test_shapes(self):
+        cell = LSTMCell(6, 8, RNG)
+        h, c = cell.zero_state(4)
+        x = Tensor(RNG.normal(size=(4, 6)).astype(np.float32))
+        h2, c2 = cell(x, (h, c))
+        assert h2.shape == (4, 8)
+        assert c2.shape == (4, 8)
+
+    def test_forget_bias_initialized_to_one(self):
+        cell = LSTMCell(3, 4, RNG)
+        np.testing.assert_allclose(cell.bias.data[4:8], 1.0)
+
+    def test_state_bounded(self):
+        cell = LSTMCell(3, 4, RNG)
+        state = cell.zero_state(2)
+        for _ in range(50):
+            x = Tensor(RNG.normal(size=(2, 3)).astype(np.float32) * 10)
+            h, c = cell(x, state)
+            state = (h, c)
+        assert np.all(np.abs(state[0].data) <= 1.0)  # h = o * tanh(c) in [-1,1]
+
+    def test_gradient_flows_through_time(self):
+        cell = LSTMCell(3, 4, RNG)
+        x0 = Tensor(RNG.normal(size=(2, 3)).astype(np.float32), requires_grad=True)
+        state = cell.zero_state(2)
+        h, c = cell(x0, state)
+        for _ in range(5):
+            h, c = cell(Tensor(np.zeros((2, 3), dtype=np.float32)), (h, c))
+        h.sum().backward()
+        assert x0.grad is not None
+        assert np.abs(x0.grad).max() > 0
+
+
+class TestLSTM:
+    def test_output_shape(self):
+        lstm = LSTM(5, 7, 2, RNG)
+        out, states = lstm(Tensor(RNG.normal(size=(4, 3, 5)).astype(np.float32)))
+        assert out.shape == (4, 3, 7)
+        assert len(states) == 2
+
+    def test_residual_stacking(self):
+        lstm = LSTM(6, 6, 3, RNG, residual=True)
+        out, _ = lstm(Tensor(RNG.normal(size=(2, 3, 6)).astype(np.float32)))
+        assert out.shape == (2, 3, 6)
+
+    def test_mask_freezes_state(self):
+        lstm = LSTM(4, 4, 1, RNG)
+        x = Tensor(RNG.normal(size=(3, 2, 4)).astype(np.float32))
+        mask = np.array([[True, True], [True, False], [True, False]])
+        out, states = lstm(x, mask=mask)
+        # For sequence 1, outputs at t=1,2 equal output at t=0 (state frozen).
+        np.testing.assert_allclose(out.data[1, 1], out.data[0, 1], atol=1e-6)
+        np.testing.assert_allclose(out.data[2, 1], out.data[0, 1], atol=1e-6)
+
+    def test_initial_state_passthrough(self):
+        lstm = LSTM(4, 4, 1, RNG)
+        x = Tensor(RNG.normal(size=(1, 2, 4)).astype(np.float32))
+        _, states = lstm(x)
+        out2, _ = lstm(x, states=states)
+        out1, _ = lstm(x)
+        assert not np.allclose(out1.data, out2.data)
+
+
+class TestAttention:
+    def test_output_shape(self):
+        mha = MultiHeadAttention(16, 4, RNG)
+        x = Tensor(RNG.normal(size=(2, 5, 16)).astype(np.float32))
+        assert mha(x, x, x).shape == (2, 5, 16)
+
+    def test_bad_head_count_raises(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(10, 3, RNG)
+
+    def test_causal_mask_blocks_future(self):
+        # With a causal mask, output at position t must not depend on inputs > t.
+        mha = MultiHeadAttention(8, 2, RNG)
+        x = RNG.normal(size=(1, 4, 8)).astype(np.float32)
+        mask = causal_mask(4)
+        base = mha(Tensor(x), Tensor(x), Tensor(x), mask=mask).data
+        x2 = x.copy()
+        x2[0, 3] += 100.0  # perturb the last position only
+        pert = mha(Tensor(x2), Tensor(x2), Tensor(x2), mask=mask).data
+        np.testing.assert_allclose(base[0, :3], pert[0, :3], atol=1e-4)
+        assert not np.allclose(base[0, 3], pert[0, 3], atol=1e-3)
+
+    def test_cross_attention_shapes(self):
+        mha = MultiHeadAttention(8, 2, RNG)
+        q = Tensor(RNG.normal(size=(2, 3, 8)).astype(np.float32))
+        kv = Tensor(RNG.normal(size=(2, 7, 8)).astype(np.float32))
+        assert mha(q, kv, kv).shape == (2, 3, 8)
+
+    def test_key_padding_mask(self):
+        # Masked keys must not influence the output.
+        mha = MultiHeadAttention(8, 2, RNG)
+        q = Tensor(RNG.normal(size=(1, 2, 8)).astype(np.float32))
+        kv = RNG.normal(size=(1, 4, 8)).astype(np.float32)
+        mask = np.ones((1, 1, 2, 4), dtype=bool)
+        mask[..., 3] = False
+        base = mha(q, Tensor(kv), Tensor(kv), mask=mask).data
+        kv2 = kv.copy()
+        kv2[0, 3] += 50.0
+        pert = mha(q, Tensor(kv2), Tensor(kv2), mask=mask).data
+        np.testing.assert_allclose(base, pert, atol=1e-4)
+
+    def test_gradients_flow(self):
+        mha = MultiHeadAttention(8, 2, RNG)
+        x = Tensor(RNG.normal(size=(1, 3, 8)).astype(np.float32), requires_grad=True)
+        mha(x, x, x).sum().backward()
+        assert x.grad is not None
+        assert all(p.grad is not None for p in mha.parameters())
+
+
+class TestTransformerBlocks:
+    def test_encoder_layer_shape(self):
+        layer = TransformerEncoderLayer(16, 4, 32, RNG)
+        x = Tensor(RNG.normal(size=(2, 5, 16)).astype(np.float32))
+        assert layer(x).shape == (2, 5, 16)
+
+    def test_decoder_layer_shape(self):
+        layer = TransformerDecoderLayer(16, 4, 32, RNG)
+        x = Tensor(RNG.normal(size=(2, 4, 16)).astype(np.float32))
+        mem = Tensor(RNG.normal(size=(2, 6, 16)).astype(np.float32))
+        assert layer(x, mem, tgt_mask=causal_mask(4)).shape == (2, 4, 16)
+
+    def test_positional_encoding_properties(self):
+        enc = positional_encoding(50, 16)
+        assert enc.shape == (50, 16)
+        assert np.all(np.abs(enc) <= 1.0)
+        # distinct positions get distinct encodings
+        assert not np.allclose(enc[0], enc[1])
+
+    def test_causal_mask_structure(self):
+        m = causal_mask(3)
+        expected = np.array([[1, 0, 0], [1, 1, 0], [1, 1, 1]], dtype=bool)
+        np.testing.assert_array_equal(m, expected)

@@ -1,0 +1,121 @@
+"""Additional hypothesis property tests on the autograd core."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.framework import Tensor, functional as F
+
+mats = arrays(np.float64, (3, 4), elements=st.floats(-5, 5))
+vecs = arrays(np.float64, (6,), elements=st.floats(-5, 5))
+
+
+class TestLinearityProperties:
+    @given(mats, mats, st.floats(-3, 3), st.floats(-3, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_gradient_linearity(self, a_data, b_data, alpha, beta):
+        """grad of (alpha*f + beta*g) == alpha*grad f + beta*grad g."""
+        x1 = Tensor(a_data.copy(), requires_grad=True)
+        (x1 * alpha + x1 * beta).sum().backward()
+        x2 = Tensor(a_data.copy(), requires_grad=True)
+        (x2 * (alpha + beta)).sum().backward()
+        np.testing.assert_allclose(x1.grad, x2.grad, rtol=1e-9, atol=1e-12)
+
+    @given(mats)
+    @settings(max_examples=40, deadline=None)
+    def test_sum_of_parts_equals_whole(self, data):
+        """Gradient of sum is invariant to how the sum is decomposed."""
+        x1 = Tensor(data.copy(), requires_grad=True)
+        (x1[:1].sum() + x1[1:].sum()).backward()
+        x2 = Tensor(data.copy(), requires_grad=True)
+        x2.sum().backward()
+        np.testing.assert_allclose(x1.grad, x2.grad)
+
+    @given(vecs)
+    @settings(max_examples=40, deadline=None)
+    def test_chain_rule_scale(self, data):
+        """d/dx sum(2 * relu(x)) == 2 * d/dx sum(relu(x))."""
+        x1 = Tensor(data.copy(), requires_grad=True)
+        (x1.relu() * 2.0).sum().backward()
+        x2 = Tensor(data.copy(), requires_grad=True)
+        x2.relu().sum().backward()
+        np.testing.assert_allclose(x1.grad, 2.0 * x2.grad)
+
+
+class TestNumericalIdentities:
+    @given(mats)
+    @settings(max_examples=40, deadline=None)
+    def test_softmax_argmax_preserved(self, data):
+        # Near-ties can collapse to exact equality inside softmax (the
+        # difference underflows after exp), legitimately moving argmax to
+        # an equal-valued earlier index — only test rows with a clear gap.
+        top2 = np.sort(data, axis=-1)[:, -2:]
+        clear = (top2[:, 1] - top2[:, 0]) > 1e-6
+        s = F.softmax(Tensor(data)).data
+        np.testing.assert_array_equal(
+            s[clear].argmax(axis=-1), data[clear].argmax(axis=-1)
+        )
+
+    @given(vecs)
+    @settings(max_examples=40, deadline=None)
+    def test_sigmoid_symmetry(self, data):
+        s_pos = Tensor(data.copy()).sigmoid().data
+        s_neg = Tensor(-data.copy()).sigmoid().data
+        np.testing.assert_allclose(s_pos + s_neg, 1.0, atol=1e-12)
+
+    @given(vecs)
+    @settings(max_examples=40, deadline=None)
+    def test_tanh_is_scaled_sigmoid(self, data):
+        t = Tensor(data.copy()).tanh().data
+        s = Tensor(2.0 * data.copy()).sigmoid().data
+        np.testing.assert_allclose(t, 2.0 * s - 1.0, atol=1e-9)
+
+    @given(mats)
+    @settings(max_examples=40, deadline=None)
+    def test_logsumexp_consistency(self, data):
+        """exp(log_softmax) sums to one even for extreme inputs."""
+        lp = F.log_softmax(Tensor(data * 100.0)).data
+        np.testing.assert_allclose(np.exp(lp).sum(axis=-1), 1.0, atol=1e-9)
+
+    @given(st.floats(0.1, 10.0), vecs)
+    @settings(max_examples=40, deadline=None)
+    def test_bce_shift_invariance_of_gradient_sign(self, scale, data):
+        """BCE gradient sign equals sign(sigmoid(x) - t)."""
+        logits = Tensor(data.copy() * scale, requires_grad=True)
+        targets = (data > 0).astype(np.float64)
+        F.binary_cross_entropy_with_logits(logits, targets).backward()
+        sig = 1 / (1 + np.exp(-data * scale))
+        np.testing.assert_array_equal(np.sign(logits.grad), np.sign((sig - targets) / len(data)))
+
+
+class TestStructuralOps:
+    @given(mats, st.integers(0, 1))
+    @settings(max_examples=40, deadline=None)
+    def test_concat_split_roundtrip(self, data, axis):
+        x = Tensor(data.copy(), requires_grad=True)
+        parts = [x[:, :2], x[:, 2:]] if axis == 1 else [x[:2], x[2:]]
+        recombined = Tensor.concat(parts, axis=axis)
+        np.testing.assert_allclose(recombined.data, data)
+        recombined.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones_like(data))
+
+    @given(mats)
+    @settings(max_examples=40, deadline=None)
+    def test_double_transpose_identity(self, data):
+        x = Tensor(data.copy(), requires_grad=True)
+        y = x.T.T
+        np.testing.assert_array_equal(y.data, data)
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones_like(data))
+
+    @given(arrays(np.float64, (2, 3, 4), elements=st.floats(-5, 5)))
+    @settings(max_examples=30, deadline=None)
+    def test_matmul_associative_shapes(self, data):
+        a = Tensor(data)
+        b = Tensor(np.ones((4, 2)))
+        c = Tensor(np.ones((2, 5)))
+        left = ((a @ b) @ c).data
+        right = (a @ (b @ c)).data
+        np.testing.assert_allclose(left, right, rtol=1e-9)

@@ -1,0 +1,77 @@
+"""Additional Go scoring cases: neutral regions, multiple territories, komi."""
+
+import numpy as np
+import pytest
+
+from repro.go import BLACK, EMPTY, WHITE, GoBoard
+
+
+def board_from_ascii(rows: list[str], komi: float = 0.5, to_play: int = BLACK) -> GoBoard:
+    """Construct a position directly from ASCII art (X=black, O=white)."""
+    size = len(rows)
+    b = GoBoard(size, komi=komi)
+    grid = np.zeros((size, size), dtype=np.int8)
+    for y, row in enumerate(rows):
+        for x, ch in enumerate(row):
+            grid[y, x] = {"X": BLACK, "O": WHITE, ".": EMPTY}[ch]
+    b.board = grid
+    b.to_play = to_play
+    b._history = frozenset([grid.tobytes()])
+    return b
+
+
+class TestScoringCases:
+    def test_split_board(self):
+        b = board_from_ascii([
+            "X.O",
+            "X.O",
+            "X.O",
+        ])
+        # Black 3 stones, white 3 stones; the middle column touches both
+        # colors -> neutral. 3 - 3 - 0.5.
+        assert b.score() == pytest.approx(-0.5)
+
+    def test_two_separate_territories(self):
+        b = board_from_ascii([
+            ".X.O.",
+            ".X.O.",
+            ".X.O.",
+            ".X.O.",
+            ".X.O.",
+        ])
+        # Column 0 touches only black (5 pts); column 2 touches both
+        # (neutral); column 4 touches only white (5 pts).
+        assert b.score() == pytest.approx(5 + 5 - (5 + 5) - 0.5)
+
+    def test_enclosed_eye_counts(self):
+        b = board_from_ascii([
+            "XXX",
+            "X.X",
+            "XXX",
+        ])
+        assert b.score() == pytest.approx(9 - 0.5)
+
+    def test_dead_stone_not_autodetected(self):
+        # Tromp-Taylor: stones on the board count as alive — a surrounded
+        # but uncaptured white stone still scores for white.
+        b = board_from_ascii([
+            "XXX",
+            "XOX",
+            "XXX",
+        ])
+        assert b.score() == pytest.approx(8 - 1 - 0.5)
+
+    def test_komi_exactly_balances(self):
+        b = board_from_ascii([
+            "X.O",
+            "X.O",
+            "X.O",
+        ], komi=0.0)
+        assert b.score() == 0.0
+        assert b.winner() == WHITE  # ties go to white by the > 0 rule
+
+    @pytest.mark.parametrize("komi", [0.5, 5.5, 12.5])
+    def test_komi_shifts_score_linearly(self, komi):
+        base = board_from_ascii(["X..", "...", "..."], komi=0.0).score()
+        shifted = board_from_ascii(["X..", "...", "..."], komi=komi).score()
+        assert shifted == pytest.approx(base - komi)

@@ -1,0 +1,51 @@
+"""Shared test utilities, chiefly a central-difference gradient checker."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.framework import Tensor
+
+
+def numeric_grad(fn: Callable[[np.ndarray], float], x: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued function of ``x``."""
+    x = x.astype(np.float64)
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = fn(x)
+        flat[i] = orig - eps
+        lo = fn(x)
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def check_gradient(
+    build: Callable[[Tensor], Tensor],
+    x_data: np.ndarray,
+    rtol: float = 1e-4,
+    atol: float = 1e-5,
+) -> None:
+    """Assert autodiff gradient of ``build(x).sum()`` matches finite differences.
+
+    ``build`` must map a Tensor to a Tensor; float64 is used throughout for
+    finite-difference accuracy.
+    """
+    x_data = x_data.astype(np.float64)
+
+    x = Tensor(x_data.copy(), requires_grad=True)
+    out = build(x)
+    out.sum().backward()
+    analytic = x.grad
+
+    def scalar(arr: np.ndarray) -> float:
+        return float(build(Tensor(arr.copy())).data.sum())
+
+    numeric = numeric_grad(scalar, x_data)
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)

@@ -1,0 +1,111 @@
+"""Corpus BLEU against hand-computed values and known properties."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import corpus_bleu, ngram_counts, sentence_bleu
+
+tokens = st.lists(st.integers(0, 10), min_size=5, max_size=20)
+
+
+class TestNgramCounts:
+    def test_unigrams(self):
+        counts = ngram_counts(["a", "b", "a"], 1)
+        assert counts[("a",)] == 2
+        assert counts[("b",)] == 1
+
+    def test_bigrams(self):
+        counts = ngram_counts([1, 2, 3], 2)
+        assert counts[(1, 2)] == 1
+        assert counts[(2, 3)] == 1
+        assert sum(counts.values()) == 2
+
+    def test_n_longer_than_sequence(self):
+        assert len(ngram_counts([1], 2)) == 0
+
+
+class TestCorpusBleu:
+    def test_identity_is_100(self):
+        refs = [[1, 2, 3, 4, 5, 6], [7, 8, 9, 10, 11]]
+        assert corpus_bleu(refs, refs) == pytest.approx(100.0)
+
+    def test_disjoint_is_0(self):
+        assert corpus_bleu([[1, 2, 3, 4, 5]], [[6, 7, 8, 9, 10]]) == 0.0
+
+    def test_hand_computed_example(self):
+        # hyp: "the cat the cat", ref: "the cat sat" (as ints)
+        hyp = [0, 1, 0, 1]
+        ref = [0, 1, 2]
+        # unigram: clipped matches: 'the'->min(2,1)=1, 'cat'->min(2,1)=1 => 2/4
+        # bigram: (0,1)x2 -> min(2,1)=1; (1,0)->0 => 1/3
+        # hyp (4 tokens) is longer than ref (3): no brevity penalty.
+        p1, p2 = 2 / 4, 1 / 3
+        expected = 100 * math.exp((math.log(p1) + math.log(p2)) / 2)
+        assert corpus_bleu([hyp], [ref], max_n=2) == pytest.approx(expected)
+
+    def test_clipping_penalizes_repetition(self):
+        # "the the the the" vs "the cat": unigram precision clipped to 1/4.
+        score_rep = corpus_bleu([[0, 0, 0, 0]], [[0, 1]], max_n=1)
+        score_ok = corpus_bleu([[0, 1, 2, 3]], [[0, 1]], max_n=1)
+        assert score_rep < score_ok
+
+    def test_brevity_penalty(self):
+        # A 2-token perfect prefix of a 8-token reference is penalized.
+        short = corpus_bleu([[1, 2]], [[1, 2, 3, 4, 5, 6, 7, 8]], max_n=2)
+        full = corpus_bleu([[1, 2, 3, 4, 5, 6, 7, 8]], [[1, 2, 3, 4, 5, 6, 7, 8]], max_n=2)
+        assert short < full
+        assert short == pytest.approx(100 * math.exp(1 - 8 / 2), rel=1e-6)
+
+    def test_no_penalty_when_longer(self):
+        # Longer-than-reference hypotheses get no brevity penalty (precision
+        # already punishes extra tokens).
+        score = corpus_bleu([[1, 2, 3, 9, 9]], [[1, 2, 3]], max_n=1)
+        assert score == pytest.approx(100 * 3 / 5)
+
+    def test_corpus_pooling_not_average(self):
+        # Pooled counts differ from averaging per-sentence BLEU when
+        # sentence lengths are unequal.
+        hyps = [[1, 2], [9, 9, 9, 9, 9, 9]]
+        refs = [[1, 2], [1, 2, 3, 4, 5, 6]]
+        pooled = corpus_bleu(hyps, refs, max_n=1)
+        avg = np.mean([corpus_bleu([h], [r], max_n=1) for h, r in zip(hyps, refs)])
+        assert pooled == pytest.approx(100 * 2 / 8)  # 2 matches over 8 tokens
+        assert avg == pytest.approx(50.0)  # (100 + 0) / 2
+        assert pooled != pytest.approx(avg)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            corpus_bleu([[1]], [[1], [2]])
+
+    def test_empty_corpus(self):
+        assert corpus_bleu([], []) == 0.0
+
+    def test_smoothing_gives_nonzero_for_partial(self):
+        # Without smoothing a missing 4-gram zeroes the score entirely.
+        hyp, ref = [1, 2, 3, 9], [1, 2, 3, 4]
+        assert corpus_bleu([hyp], [ref]) == 0.0
+        assert corpus_bleu([hyp], [ref], smoothing=1.0) > 0.0
+
+    def test_sentence_bleu_smoothed_by_default(self):
+        assert sentence_bleu([1, 2, 3], [1, 2, 4]) > 0.0
+
+    @given(tokens)
+    @settings(max_examples=40, deadline=None)
+    def test_self_bleu_is_100(self, seq):
+        assert corpus_bleu([seq], [seq]) == pytest.approx(100.0)
+
+    @given(tokens, tokens)
+    @settings(max_examples=40, deadline=None)
+    def test_range(self, hyp, ref):
+        score = corpus_bleu([hyp], [ref], smoothing=1.0)
+        assert 0.0 <= score <= 100.0 + 1e-9
+
+    @given(tokens)
+    @settings(max_examples=30, deadline=None)
+    def test_word_dropped_reduces_score(self, seq):
+        truncated = seq[:-1]
+        assert corpus_bleu([truncated], [seq], smoothing=1.0) <= 100.0

@@ -1,0 +1,66 @@
+"""Top-k accuracy and move-match metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import move_match_rate, top1_accuracy, top_k_accuracy
+
+
+class TestTopK:
+    def test_perfect(self):
+        scores = np.eye(4)
+        assert top1_accuracy(scores, np.arange(4)) == 1.0
+
+    def test_all_wrong(self):
+        scores = np.eye(4)
+        assert top1_accuracy(scores, (np.arange(4) + 1) % 4) == 0.0
+
+    def test_half(self):
+        scores = np.array([[1.0, 0.0], [1.0, 0.0]])
+        assert top1_accuracy(scores, np.array([0, 1])) == 0.5
+
+    def test_top5_recovers_lower_ranked(self):
+        scores = np.zeros((1, 10))
+        scores[0, :5] = [5, 4, 3, 2, 1]
+        assert top_k_accuracy(scores, np.array([4]), k=5) == 1.0
+        assert top_k_accuracy(scores, np.array([4]), k=4) == 0.0
+
+    def test_k_out_of_range(self):
+        with pytest.raises(ValueError):
+            top_k_accuracy(np.zeros((2, 3)), np.zeros(2, dtype=int), k=4)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            top1_accuracy(np.zeros(5), np.zeros(5, dtype=int))
+        with pytest.raises(ValueError):
+            top1_accuracy(np.zeros((5, 2)), np.zeros(4, dtype=int))
+
+    def test_empty(self):
+        assert top1_accuracy(np.zeros((0, 3)), np.zeros(0, dtype=int)) == 0.0
+
+    @given(st.integers(1, 20), st.integers(2, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_k(self, n, c):
+        rng = np.random.default_rng(n * 100 + c)
+        scores = rng.normal(size=(n, c))
+        labels = rng.integers(0, c, size=n)
+        accs = [top_k_accuracy(scores, labels, k) for k in range(1, c + 1)]
+        assert all(a <= b + 1e-12 for a, b in zip(accs, accs[1:]))
+        assert accs[-1] == 1.0  # k = C always hits
+
+
+class TestMoveMatch:
+    def test_exact(self):
+        assert move_match_rate(np.array([1, 2, 3]), np.array([1, 2, 3])) == 1.0
+
+    def test_partial(self):
+        assert move_match_rate(np.array([1, 2, 3, 4]), np.array([1, 0, 3, 0])) == 0.5
+
+    def test_empty(self):
+        assert move_match_rate(np.array([]), np.array([])) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            move_match_rate(np.array([1]), np.array([1, 2]))

@@ -1,0 +1,186 @@
+"""Detection metrics: IoU, NMS, AP/mAP matching semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    Detection,
+    GroundTruth,
+    average_precision,
+    box_iou,
+    mask_iou,
+    mean_average_precision,
+    nms,
+)
+
+box = st.tuples(
+    st.floats(0, 50), st.floats(0, 50), st.floats(1, 50), st.floats(1, 50)
+).map(lambda t: np.array([min(t[0], t[0] + t[2]), min(t[1], t[1] + t[3]),
+                          t[0] + t[2], t[1] + t[3]]))
+
+
+def det(image_id, box_coords, label=0, score=1.0, mask=None):
+    return Detection(image_id, np.asarray(box_coords, dtype=float), label, score, mask)
+
+
+def gt(image_id, box_coords, label=0, mask=None):
+    return GroundTruth(image_id, np.asarray(box_coords, dtype=float), label, mask)
+
+
+class TestBoxIoU:
+    def test_identical(self):
+        b = np.array([[0, 0, 10, 10]])
+        np.testing.assert_allclose(box_iou(b, b), [[1.0]])
+
+    def test_disjoint(self):
+        a = np.array([[0, 0, 5, 5]])
+        b = np.array([[10, 10, 20, 20]])
+        np.testing.assert_allclose(box_iou(a, b), [[0.0]])
+
+    def test_half_overlap(self):
+        a = np.array([[0, 0, 10, 10]])
+        b = np.array([[5, 0, 15, 10]])
+        np.testing.assert_allclose(box_iou(a, b), [[50 / 150]])
+
+    def test_contained(self):
+        a = np.array([[0, 0, 10, 10]])
+        b = np.array([[2, 2, 4, 4]])
+        np.testing.assert_allclose(box_iou(a, b), [[4 / 100]])
+
+    def test_pairwise_shape(self):
+        a = np.zeros((3, 4))
+        b = np.zeros((5, 4))
+        assert box_iou(a, b).shape == (3, 5)
+
+    def test_degenerate_box_zero(self):
+        a = np.array([[5, 5, 5, 5]])
+        np.testing.assert_allclose(box_iou(a, a), [[0.0]])
+
+    @given(box, box)
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry_and_range(self, a, b):
+        ab = box_iou(a[None], b[None])[0, 0]
+        ba = box_iou(b[None], a[None])[0, 0]
+        assert ab == pytest.approx(ba)
+        assert 0.0 <= ab <= 1.0 + 1e-9
+
+
+class TestMaskIoU:
+    def test_identical(self):
+        m = np.zeros((1, 4, 4), dtype=bool)
+        m[0, :2, :2] = True
+        np.testing.assert_allclose(mask_iou(m, m), [[1.0]])
+
+    def test_disjoint(self):
+        a = np.zeros((1, 4, 4), dtype=bool)
+        b = np.zeros((1, 4, 4), dtype=bool)
+        a[0, 0, 0] = True
+        b[0, 3, 3] = True
+        np.testing.assert_allclose(mask_iou(a, b), [[0.0]])
+
+    def test_quarter_overlap(self):
+        a = np.zeros((1, 4, 4), dtype=bool)
+        b = np.zeros((1, 4, 4), dtype=bool)
+        a[0, :2, :] = True  # 8 px
+        b[0, 1:3, :] = True  # 8 px, overlap 4
+        np.testing.assert_allclose(mask_iou(a, b), [[4 / 12]])
+
+    def test_empty_masks(self):
+        z = np.zeros((1, 4, 4), dtype=bool)
+        np.testing.assert_allclose(mask_iou(z, z), [[0.0]])
+
+
+class TestNMS:
+    def test_keeps_best_suppresses_overlap(self):
+        boxes = np.array([[0, 0, 10, 10], [1, 1, 11, 11], [20, 20, 30, 30]])
+        scores = np.array([0.9, 0.8, 0.7])
+        keep = nms(boxes, scores, iou_threshold=0.5)
+        np.testing.assert_array_equal(keep, [0, 2])
+
+    def test_keeps_all_disjoint(self):
+        boxes = np.array([[0, 0, 5, 5], [10, 10, 15, 15], [20, 20, 25, 25]])
+        scores = np.array([0.1, 0.9, 0.5])
+        keep = nms(boxes, scores, 0.5)
+        assert set(keep.tolist()) == {0, 1, 2}
+        assert keep[0] == 1  # ordered by score
+
+    def test_empty(self):
+        assert nms(np.zeros((0, 4)), np.zeros(0)).size == 0
+
+    def test_threshold_extremes(self):
+        boxes = np.array([[0, 0, 10, 10], [1, 1, 11, 11]])
+        scores = np.array([0.9, 0.8])
+        assert len(nms(boxes, scores, iou_threshold=0.99)) == 2
+        assert len(nms(boxes, scores, iou_threshold=0.1)) == 1
+
+
+class TestAP:
+    def test_perfect_detection(self):
+        gts = [gt(0, [0, 0, 10, 10])]
+        dets = [det(0, [0, 0, 10, 10], score=0.9)]
+        assert average_precision(dets, gts) == pytest.approx(1.0)
+
+    def test_no_detections(self):
+        assert average_precision([], [gt(0, [0, 0, 5, 5])]) == 0.0
+
+    def test_no_ground_truth(self):
+        assert average_precision([det(0, [0, 0, 5, 5])], []) == 0.0
+
+    def test_false_positive_lowers_ap(self):
+        gts = [gt(0, [0, 0, 10, 10])]
+        dets = [
+            det(0, [50, 50, 60, 60], score=0.95),  # FP ranked first
+            det(0, [0, 0, 10, 10], score=0.9),
+        ]
+        ap = average_precision(dets, gts)
+        assert ap == pytest.approx(0.5)
+
+    def test_duplicate_detection_counts_once(self):
+        gts = [gt(0, [0, 0, 10, 10])]
+        dets = [
+            det(0, [0, 0, 10, 10], score=0.9),
+            det(0, [0, 0, 10, 10], score=0.8),  # duplicate => FP
+        ]
+        ap = average_precision(dets, gts)
+        assert ap == pytest.approx(1.0)  # recall reached at rank 1; dup after
+
+    def test_iou_threshold_gates_match(self):
+        gts = [gt(0, [0, 0, 10, 10])]
+        dets = [det(0, [4, 0, 14, 10], score=0.9)]  # IoU = 6/14 ≈ 0.43
+        assert average_precision(dets, gts, iou_threshold=0.5) == 0.0
+        assert average_precision(dets, gts, iou_threshold=0.4) == pytest.approx(1.0)
+
+    def test_cross_image_isolation(self):
+        gts = [gt(0, [0, 0, 10, 10]), gt(1, [0, 0, 10, 10])]
+        dets = [det(0, [0, 0, 10, 10], score=0.9)]  # only image 0 detected
+        assert average_precision(dets, gts) == pytest.approx(0.5)
+
+    def test_mask_ap(self):
+        m = np.zeros((8, 8), dtype=bool)
+        m[:4, :4] = True
+        gts = [gt(0, [0, 0, 4, 4], mask=m)]
+        dets = [det(0, [0, 0, 4, 4], score=0.9, mask=m.copy())]
+        assert average_precision(dets, gts, use_masks=True) == pytest.approx(1.0)
+
+
+class TestMAP:
+    def test_averages_over_classes(self):
+        gts = [gt(0, [0, 0, 10, 10], label=0), gt(0, [20, 20, 30, 30], label=1)]
+        dets = [det(0, [0, 0, 10, 10], label=0, score=0.9)]  # class 1 missed
+        assert mean_average_precision(dets, gts) == pytest.approx(0.5)
+
+    def test_wrong_class_no_credit(self):
+        gts = [gt(0, [0, 0, 10, 10], label=0)]
+        dets = [det(0, [0, 0, 10, 10], label=1, score=0.9)]
+        assert mean_average_precision(dets, gts) == 0.0
+
+    def test_multiple_thresholds_average(self):
+        gts = [gt(0, [0, 0, 10, 10])]
+        dets = [det(0, [2, 0, 12, 10], score=0.9)]  # IoU = 8/12 ≈ 0.667
+        strict = mean_average_precision(dets, gts, iou_thresholds=(0.5, 0.75))
+        assert strict == pytest.approx(0.5)  # hits at 0.5, misses at 0.75
+
+    def test_empty_ground_truth(self):
+        assert mean_average_precision([], []) == 0.0

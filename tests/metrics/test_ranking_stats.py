@@ -1,0 +1,140 @@
+"""Ranking metrics and run statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    dispersion,
+    epochs_to_target_histogram,
+    fraction_within,
+    hit_rate_at_k,
+    leave_one_out_eval,
+    ndcg_at_k,
+)
+
+
+class TestHitRate:
+    def test_positive_ranked_first(self):
+        rows = [np.array([5.0, 1.0, 0.0])]
+        assert hit_rate_at_k(rows, k=1) == 1.0
+
+    def test_positive_outside_k(self):
+        rows = [np.array([0.0, 5.0, 4.0, 3.0])]
+        assert hit_rate_at_k(rows, k=3) == 0.0
+        assert hit_rate_at_k(rows, k=4) == 1.0
+
+    def test_mixed_users(self):
+        rows = [np.array([5.0, 1.0]), np.array([0.0, 5.0])]
+        assert hit_rate_at_k(rows, k=1) == 0.5
+
+    def test_ties_pessimistic(self):
+        # Constant scorer should not get credit at k=1 with 2+ candidates.
+        rows = [np.array([1.0, 1.0, 1.0])]
+        assert hit_rate_at_k(rows, k=1) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            hit_rate_at_k([np.array([1.0])], k=0)
+
+    def test_empty(self):
+        assert hit_rate_at_k([], k=10) == 0.0
+
+    @given(st.integers(1, 30), st.integers(1, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_k(self, n_users, seed):
+        rng = np.random.default_rng(seed)
+        rows = [rng.normal(size=21) for _ in range(n_users)]
+        hrs = [hit_rate_at_k(rows, k) for k in range(1, 22)]
+        assert all(a <= b + 1e-12 for a, b in zip(hrs, hrs[1:]))
+        assert hrs[-1] == 1.0
+
+
+class TestNDCG:
+    def test_rank_one_full_credit(self):
+        assert ndcg_at_k([np.array([5.0, 0.0])], k=10) == pytest.approx(1.0)
+
+    def test_rank_two_discounted(self):
+        rows = [np.array([1.0, 5.0, 0.0])]
+        assert ndcg_at_k(rows, k=10) == pytest.approx(1 / np.log2(3))
+
+    def test_ndcg_at_most_hr(self):
+        rng = np.random.default_rng(0)
+        rows = [rng.normal(size=11) for _ in range(50)]
+        assert ndcg_at_k(rows, 10) <= hit_rate_at_k(rows, 10) + 1e-12
+
+
+class TestLeaveOneOut:
+    def test_oracle_scorer(self):
+        users = np.arange(5)
+        positives = np.arange(5) + 100
+        negatives = np.arange(5 * 7).reshape(5, 7)
+
+        def oracle(u, i):
+            return (i >= 100).astype(float)  # positives always score higher
+
+        hr, ndcg = leave_one_out_eval(oracle, positives, negatives, users)
+        assert hr == 1.0
+        assert ndcg == 1.0
+
+    def test_adversarial_scorer(self):
+        users = np.arange(4)
+        positives = np.zeros(4, dtype=int) + 100
+        negatives = np.arange(4 * 15).reshape(4, 15)
+
+        def worst(u, i):
+            return -(i >= 100).astype(float)
+
+        hr, _ = leave_one_out_eval(worst, positives, negatives, users, k=10)
+        assert hr == 0.0
+
+
+class TestDispersion:
+    def test_basic_stats(self):
+        d = dispersion([1.0, 2.0, 3.0])
+        assert d.n == 3
+        assert d.mean == 2.0
+        assert d.minimum == 1.0
+        assert d.maximum == 3.0
+        assert d.spread_ratio == 3.0
+
+    def test_single_value(self):
+        d = dispersion([5.0])
+        assert d.std == 0.0
+        assert d.coefficient_of_variation == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            dispersion([])
+
+
+class TestFractionWithin:
+    def test_all_within(self):
+        assert fraction_within([100, 101, 99], 0.05) == 1.0
+
+    def test_outlier_excluded(self):
+        vals = [100.0] * 9 + [200.0]
+        assert fraction_within(vals, 0.05) == pytest.approx(0.9)
+
+    def test_tolerance_zero(self):
+        assert fraction_within([1.0, 1.0, 2.0], 0.0) == pytest.approx(2 / 3)
+
+    @given(st.lists(st.floats(1, 100), min_size=1, max_size=20), st.floats(0, 1))
+    @settings(max_examples=40, deadline=None)
+    def test_range(self, vals, tol):
+        f = fraction_within(vals, tol)
+        assert 0.0 <= f <= 1.0
+
+
+class TestHistogram:
+    def test_counts(self):
+        h = epochs_to_target_histogram([3, 3, 4, 5, 5, 5])
+        assert h == {3: 2, 4: 1, 5: 3}
+
+    def test_sorted_keys(self):
+        h = epochs_to_target_histogram([9, 1, 5])
+        assert list(h.keys()) == [1, 5, 9]
+
+    def test_empty(self):
+        assert epochs_to_target_histogram([]) == {}

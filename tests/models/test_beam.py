@@ -1,0 +1,107 @@
+"""Beam-search decoding: structure, determinism, and quality vs greedy."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import SyntheticTranslation, TranslationConfig
+from repro.framework import Adam
+from repro.metrics import corpus_bleu
+from repro.models import (
+    MiniGNMT,
+    MiniTransformer,
+    beam_search_gnmt,
+    beam_search_transformer,
+)
+from repro.models.beam import BeamHypothesis, _normalized, _top_tokens
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return SyntheticTranslation(TranslationConfig(train_size=80, test_size=16))
+
+
+@pytest.fixture(scope="module")
+def trained_models(corpus):
+    """Briefly trained models so decoding has real signal."""
+    models = {}
+    for key, cls in (("gnmt", MiniGNMT), ("transformer", MiniTransformer)):
+        rng = np.random.default_rng(0)
+        model = cls(corpus.vocab.size, rng)
+        opt = Adam(model.parameters(), lr=3e-3)
+        for epoch in range(4):
+            e_rng = np.random.default_rng(epoch)
+            order = e_rng.permutation(len(corpus.train_pairs))
+            for start in range(0, len(order) - 16 + 1, 16):
+                chunk = [corpus.train_pairs[i] for i in order[start : start + 16]]
+                src = corpus.encoder_inputs([s for s, _ in chunk])
+                din, dout = corpus.decoder_io([t for _, t in chunk])
+                loss = model.loss(src, din, dout)
+                model.zero_grad()
+                loss.backward()
+                opt.step()
+        model.eval()
+        models[key] = model
+    return models
+
+
+class TestBeamHelpers:
+    def test_normalization_compensates_length(self):
+        # Equal total log-prob: the longer hypothesis scores higher (per-token
+        # cost is what's compared), and alpha=0 disables normalization.
+        assert _normalized(-10.0, 10, alpha=0.6) > _normalized(-10.0, 5, alpha=0.6)
+        assert _normalized(-10.0, 10, alpha=0.0) == _normalized(-10.0, 5, alpha=0.0)
+
+    def test_top_tokens_sorted(self):
+        logp = np.array([0.1, -5.0, 2.0, 1.0])
+        toks, scores = _top_tokens(logp, 3)
+        assert toks.tolist() == [2, 3, 0]
+        assert scores[0] == 2.0
+
+    def test_hypothesis_ordering(self):
+        a = BeamHypothesis(score=-1.0, tokens=[1])
+        b = BeamHypothesis(score=-2.0, tokens=[2])
+        assert max(a, b) is a
+
+
+class TestBeamSearch:
+    def test_outputs_one_per_sentence(self, corpus, trained_models):
+        src = corpus.encoder_inputs([s for s, _ in corpus.test_pairs[:4]])
+        for key, fn in (("gnmt", beam_search_gnmt), ("transformer", beam_search_transformer)):
+            outs = fn(trained_models[key], src, beam_width=3, max_len=16)
+            assert len(outs) == 4
+            for o in outs:
+                assert len(o) <= 16
+                assert all(isinstance(t, int) for t in o)
+
+    def test_deterministic(self, corpus, trained_models):
+        src = corpus.encoder_inputs([s for s, _ in corpus.test_pairs[:3]])
+        a = beam_search_transformer(trained_models["transformer"], src, beam_width=3)
+        b = beam_search_transformer(trained_models["transformer"], src, beam_width=3)
+        assert a == b
+
+    def test_beam_width_one_matches_greedy(self, corpus, trained_models):
+        """width-1 beam search IS greedy decoding (modulo length norm)."""
+        src = corpus.encoder_inputs([s for s, _ in corpus.test_pairs[:6]])
+        model = trained_models["transformer"]
+        greedy = model.greedy_decode(src, max_len=16)
+        beam1 = beam_search_transformer(model, src, beam_width=1, max_len=16)
+        assert beam1 == greedy
+
+    def test_gnmt_beam1_matches_greedy(self, corpus, trained_models):
+        src = corpus.encoder_inputs([s for s, _ in corpus.test_pairs[:6]])
+        model = trained_models["gnmt"]
+        greedy = model.greedy_decode(src, max_len=16)
+        beam1 = beam_search_gnmt(model, src, beam_width=1, max_len=16)
+        assert beam1 == greedy
+
+    def test_beam_bleu_not_worse_than_greedy(self, corpus, trained_models):
+        """On a trained model, beam search should match or beat greedy."""
+        sources = [s for s, _ in corpus.test_pairs]
+        refs = [t for _, t in corpus.test_pairs]
+        src = corpus.encoder_inputs(sources)
+        model = trained_models["transformer"]
+        greedy_bleu = corpus_bleu(model.greedy_decode(src, max_len=16), refs, smoothing=1.0)
+        beam_bleu = corpus_bleu(
+            beam_search_transformer(model, src, beam_width=4, max_len=16), refs, smoothing=1.0
+        )
+        assert beam_bleu >= greedy_bleu - 1.0  # allow tiny metric noise

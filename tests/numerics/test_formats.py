@@ -1,0 +1,150 @@
+"""Numeric-format emulation: exactness, idempotence, error ordering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.numerics import QuantizedWeights, available_formats, get_format
+
+finite_arrays = arrays(np.float32, (16,), elements=st.floats(-100, 100, width=32))
+
+
+class TestFormats:
+    def test_registry(self):
+        names = available_formats()
+        assert "float32" in names
+        assert "ternary" in names
+        with pytest.raises(KeyError):
+            get_format("float128")
+
+    def test_float32_identity(self):
+        x = np.random.default_rng(0).normal(size=32).astype(np.float32)
+        np.testing.assert_array_equal(get_format("float32").quantize(x), x)
+
+    @pytest.mark.parametrize("name", ["bfloat16", "float16", "fixed8", "fixed6", "fixed4", "ternary"])
+    def test_idempotent(self, name):
+        fmt = get_format(name)
+        x = np.random.default_rng(1).normal(size=64).astype(np.float32)
+        once = fmt.quantize(x)
+        twice = fmt.quantize(once)
+        np.testing.assert_allclose(once, twice, atol=1e-6)
+
+    @pytest.mark.parametrize("name", available_formats())
+    def test_zero_preserved(self, name):
+        fmt = get_format(name)
+        np.testing.assert_array_equal(fmt.quantize(np.zeros(8, dtype=np.float32)), 0.0)
+
+    @pytest.mark.parametrize("name", available_formats())
+    def test_sign_preserved(self, name):
+        fmt = get_format(name)
+        x = np.array([-3.0, -1.0, 1.0, 3.0], dtype=np.float32)
+        q = fmt.quantize(x)
+        assert np.all(np.sign(q) * np.sign(x) >= 0)
+
+    def test_error_ordering_fixed_point(self):
+        """More bits => no larger quantization error."""
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=256).astype(np.float32)
+        errors = {}
+        for name in ["fixed8", "fixed6", "fixed4"]:
+            errors[name] = float(np.abs(get_format(name).quantize(x) - x).mean())
+        assert errors["fixed8"] <= errors["fixed6"] <= errors["fixed4"]
+
+    def test_bfloat16_coarser_than_float16(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=256).astype(np.float32)
+        e_bf = float(np.abs(get_format("bfloat16").quantize(x) - x).mean())
+        e_fp = float(np.abs(get_format("float16").quantize(x) - x).mean())
+        assert e_fp <= e_bf
+
+    def test_mantissa_rounding_matches_numpy_float16(self):
+        # Our float16 emulation should agree with IEEE half for values in
+        # the normal range (we emulate the significand, not subnormals).
+        rng = np.random.default_rng(4)
+        x = rng.uniform(0.1, 100.0, size=128).astype(np.float32)
+        ours = get_format("float16").quantize(x)
+        ieee = x.astype(np.float16).astype(np.float32)
+        np.testing.assert_allclose(ours, ieee, rtol=2e-3)
+
+    def test_ternary_three_levels(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=512).astype(np.float32)
+        q = get_format("ternary").quantize(x)
+        assert len(np.unique(np.abs(q))) <= 2  # {0, s}
+
+    def test_ternary_thresholds_small_values(self):
+        x = np.array([1.0, 0.001, -0.001, -1.0], dtype=np.float32)
+        q = get_format("ternary").quantize(x)
+        assert q[1] == 0.0 and q[2] == 0.0
+        assert q[0] > 0 and q[3] < 0
+
+    def test_fixed_point_level_count(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=4096).astype(np.float32)
+        q = get_format("fixed4").quantize(x)
+        # 4 bits => at most 2*(2^3 - 1) + 1 = 15 distinct levels.
+        assert len(np.unique(q)) <= 15
+
+    @given(finite_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_quantization_bounded_by_max(self, x):
+        for name in ["fixed8", "fixed4", "ternary"]:
+            q = get_format(name).quantize(x)
+            assert np.abs(q).max(initial=0.0) <= np.abs(x).max(initial=0.0) * (1 + 1e-5)
+
+    @given(finite_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_fixed8_relative_error_small(self, x):
+        q = get_format("fixed8").quantize(x)
+        scale = np.abs(x).max(initial=0.0)
+        if scale > 0:
+            assert np.abs(q - x).max() <= scale / (2**7 - 1) * 0.5 + 1e-6
+
+
+class TestQuantizedWeights:
+    def _model(self):
+        from repro.framework import Linear
+
+        return Linear(4, 3, np.random.default_rng(0))
+
+    def test_float32_is_noop(self):
+        from repro.framework import SGD, Tensor
+
+        rng = np.random.default_rng(1)
+        m_plain, m_q = self._model(), self._model()
+        qw = QuantizedWeights(m_q, "float32")
+        opt_plain = SGD(m_plain.parameters(), lr=0.1)
+        opt_q = SGD(m_q.parameters(), lr=0.1)
+        x = Tensor(rng.normal(size=(8, 4)).astype(np.float32))
+        for _ in range(5):
+            for m, opt, is_q in ((m_plain, opt_plain, False), (m_q, opt_q, True)):
+                loss = (m(x) ** 2).mean()
+                m.zero_grad()
+                loss.backward()
+                if is_q:
+                    qw.apply_gradients(opt)
+                else:
+                    opt.step()
+        np.testing.assert_allclose(m_plain.weight.data, m_q.weight.data, atol=1e-7)
+
+    def test_working_weights_are_quantized(self):
+        m = self._model()
+        QuantizedWeights(m, "ternary")
+        uniq = np.unique(np.abs(m.weight.data))
+        assert len(uniq) <= 2
+
+    def test_master_retains_precision(self):
+        from repro.framework import SGD, Tensor
+
+        m = self._model()
+        qw = QuantizedWeights(m, "fixed4")
+        opt = SGD(m.parameters(), lr=0.01)
+        x = Tensor(np.random.default_rng(2).normal(size=(8, 4)).astype(np.float32))
+        loss = (m(x) ** 2).mean()
+        loss.backward()
+        qw.apply_gradients(opt)
+        # Master should differ from the (coarse) working copy.
+        master = list(qw.master_state().values())[0]
+        assert not np.allclose(master, m.weight.data)

@@ -1,0 +1,54 @@
+"""Quantized training end-to-end: who converges and who cannot (Fig 1 in micro)."""
+
+import numpy as np
+import pytest
+
+from repro.framework import Linear, SGD, Tensor
+from repro.numerics import QuantizedWeights
+
+
+def train_quantized(fmt: str, steps: int = 300) -> float:
+    """Fit y = xW* with weights stored in ``fmt``; return final MSE."""
+    rng = np.random.default_rng(0)
+    true_w = rng.normal(size=(4, 8)).astype(np.float32)
+    x = rng.normal(size=(256, 8)).astype(np.float32)
+    y = x @ true_w.T
+    model = Linear(8, 4, np.random.default_rng(1))
+    opt = SGD(model.parameters(), lr=0.05)
+    qw = QuantizedWeights(model, fmt)
+    loss_val = np.inf
+    for _ in range(steps):
+        pred = model(Tensor(x))
+        loss = ((pred - Tensor(y)) ** 2).mean()
+        model.zero_grad()
+        loss.backward()
+        qw.apply_gradients(opt)
+        loss_val = float(loss.data)
+    return loss_val
+
+
+class TestQuantizedTrainingConvergence:
+    def test_float32_converges(self):
+        assert train_quantized("float32") < 1e-3
+
+    def test_fixed8_converges_close_to_float(self):
+        """8-bit weights with an fp32 master track full precision."""
+        assert train_quantized("fixed8") < 5e-3
+
+    def test_bfloat16_converges(self):
+        assert train_quantized("bfloat16") < 5e-3
+
+    def test_ternary_cannot_fit(self):
+        """Ternary weights cannot represent the regression target — the
+        'never matches full precision' regime of Figure 1."""
+        ternary = train_quantized("ternary")
+        full = train_quantized("float32")
+        assert ternary > 100 * max(full, 1e-6)
+
+    def test_error_ordering(self):
+        """Final loss degrades monotonically with coarser formats."""
+        losses = {fmt: train_quantized(fmt, steps=200)
+                  for fmt in ("float32", "fixed8", "fixed4", "ternary")}
+        assert losses["float32"] <= losses["fixed8"] + 1e-6
+        assert losses["fixed8"] < losses["fixed4"]
+        assert losses["fixed4"] < losses["ternary"]

@@ -1,0 +1,148 @@
+"""Executable data-parallel semantics: sync equivalence, async variance."""
+
+import numpy as np
+import pytest
+
+from repro.framework import Linear, SGD, Sequential, ReLU, Tensor, functional as F
+from repro.models import MiniResNet
+from repro.systems.dataparallel import (
+    AsynchronousDataParallel,
+    SynchronousDataParallel,
+    shard_batch,
+)
+
+
+def loss_fn(model, shard):
+    x, y = shard
+    return F.cross_entropy(model(Tensor(x)), y)
+
+
+def make_model(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(Linear(8, 16, rng), ReLU(), Linear(16, 4, rng))
+
+
+def make_batch(n=32, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 8)).astype(np.float32)
+    y = rng.integers(0, 4, size=n)
+    return x, y
+
+
+class TestShardBatch:
+    def test_even_split(self):
+        x, y = make_batch(32)
+        shards = shard_batch((x, y), 4)
+        assert len(shards) == 4
+        assert all(len(s[0]) == 8 for s in shards)
+        np.testing.assert_array_equal(np.concatenate([s[0] for s in shards]), x)
+
+    def test_indivisible_rejected(self):
+        x, y = make_batch(30)
+        with pytest.raises(ValueError, match="divisible"):
+            shard_batch((x, y), 4)
+
+
+class TestSynchronous:
+    def test_equivalent_to_single_worker(self):
+        """W-worker sync SGD == single-step large batch (up to fp order)."""
+        batch = make_batch(32)
+        # Single worker reference.
+        ref_model = make_model(1)
+        ref = SynchronousDataParallel(ref_model, SGD(ref_model.parameters(), lr=0.1),
+                                      num_workers=1, loss_fn=loss_fn)
+        # Four workers.
+        dp_model = make_model(1)
+        dp = SynchronousDataParallel(dp_model, SGD(dp_model.parameters(), lr=0.1),
+                                     num_workers=4, loss_fn=loss_fn)
+        for _ in range(5):
+            ref.step(batch)
+            dp.step(batch)
+        for p_ref, p_dp in zip(ref_model.parameters(), dp_model.parameters()):
+            np.testing.assert_allclose(p_ref.data, p_dp.data, rtol=1e-4, atol=1e-6)
+
+    def test_deterministic(self):
+        batch = make_batch(16)
+        results = []
+        for _ in range(2):
+            model = make_model(2)
+            dp = SynchronousDataParallel(model, SGD(model.parameters(), lr=0.1), 4, loss_fn)
+            dp.step(batch)
+            results.append(model.state_dict())
+        for name in results[0]:
+            np.testing.assert_array_equal(results[0][name], results[1][name])
+
+    def test_loss_decreases(self):
+        batch = make_batch(32)
+        model = make_model(3)
+        dp = SynchronousDataParallel(model, SGD(model.parameters(), lr=0.2), 4, loss_fn)
+        first = dp.step(batch)
+        for _ in range(30):
+            last = dp.step(batch)
+        assert last < first
+
+    def test_works_with_conv_model(self):
+        rng = np.random.default_rng(4)
+        model = MiniResNet(4, rng, widths=(8, 8), blocks_per_stage=1)
+        x = rng.normal(size=(8, 3, 16, 16)).astype(np.float32)
+        y = rng.integers(0, 4, size=8)
+        dp = SynchronousDataParallel(model, SGD(model.parameters(), lr=0.05), 2, loss_fn)
+        loss = dp.step((x, y))
+        assert np.isfinite(loss)
+
+    def test_invalid_worker_count(self):
+        model = make_model()
+        with pytest.raises(ValueError):
+            SynchronousDataParallel(model, SGD(model.parameters(), lr=0.1), 0, loss_fn)
+
+
+class TestAsynchronous:
+    def test_seed_changes_trajectory(self):
+        """§2.2.3: async accumulation order is a genuine variance source."""
+        batch = make_batch(32)
+        states = []
+        for seed in (0, 1):
+            model = make_model(5)
+            dp = AsynchronousDataParallel(
+                model, SGD(model.parameters(), lr=0.1), 4, loss_fn,
+                rng=np.random.default_rng(seed), max_staleness=2,
+            )
+            for _ in range(4):
+                dp.step(batch)
+            states.append(np.concatenate([p.data.reshape(-1) for p in model.parameters()]))
+        assert not np.allclose(states[0], states[1])
+
+    def test_zero_staleness_same_data_still_trains(self):
+        batch = make_batch(32)
+        model = make_model(6)
+        dp = AsynchronousDataParallel(
+            model, SGD(model.parameters(), lr=0.2), 4, loss_fn,
+            rng=np.random.default_rng(0), max_staleness=0,
+        )
+        first = dp.step(batch)
+        for _ in range(30):
+            last = dp.step(batch)
+        assert last < first
+
+    def test_async_differs_from_sync(self):
+        batch = make_batch(32)
+        sync_model = make_model(7)
+        sync = SynchronousDataParallel(sync_model, SGD(sync_model.parameters(), lr=0.1),
+                                       4, loss_fn)
+        async_model = make_model(7)
+        asyn = AsynchronousDataParallel(
+            async_model, SGD(async_model.parameters(), lr=0.1), 4, loss_fn,
+            rng=np.random.default_rng(0), max_staleness=2,
+        )
+        for _ in range(3):
+            sync.step(batch)
+            asyn.step(batch)
+        a = np.concatenate([p.data.reshape(-1) for p in sync_model.parameters()])
+        b = np.concatenate([p.data.reshape(-1) for p in async_model.parameters()])
+        assert not np.allclose(a, b)
+
+    def test_validation(self):
+        model = make_model()
+        with pytest.raises(ValueError):
+            AsynchronousDataParallel(model, SGD(model.parameters(), lr=0.1), 2, loss_fn,
+                                     rng=np.random.default_rng(0), max_staleness=-1)

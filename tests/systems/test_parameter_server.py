@@ -1,0 +1,34 @@
+"""Parameter-server cost model (the aggregation ablation baseline)."""
+
+import pytest
+
+from repro.systems import Interconnect
+
+FABRIC = Interconnect("test", bandwidth_bytes_per_s=10e9, latency_s=1e-6)
+
+
+class TestParameterServer:
+    def test_single_chip_free(self):
+        assert FABRIC.parameter_server_time(1, 1e9) == 0.0
+
+    def test_linear_in_workers(self):
+        t8 = FABRIC.parameter_server_time(8, 1e8)
+        t16 = FABRIC.parameter_server_time(16, 1e8)
+        assert t16 == pytest.approx(2 * t8 - 2e-6, rel=1e-6)  # latency constant
+
+    def test_servers_share_load(self):
+        one = FABRIC.parameter_server_time(16, 1e8, num_servers=1)
+        four = FABRIC.parameter_server_time(16, 1e8, num_servers=4)
+        assert four < one
+
+    def test_ring_beats_ps_at_scale(self):
+        payload = 1e8
+        assert FABRIC.allreduce_time(1024, payload) < FABRIC.parameter_server_time(
+            1024, payload, num_servers=4
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FABRIC.parameter_server_time(0, 1e6)
+        with pytest.raises(ValueError):
+            FABRIC.parameter_server_time(4, 1e6, num_servers=0)

@@ -1,0 +1,70 @@
+"""Additional round-simulation behaviour: mechanism attribution."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.systems import (
+    ROUND_V05,
+    ROUND_V06,
+    Round,
+    RoundBenchmarkRules,
+    best_entry_at_scale,
+    fastest_overall_entry,
+)
+
+
+def v06_without(field: str) -> Round:
+    """v0.6 with one improvement mechanism reverted to v0.5 levels."""
+    rules = {}
+    for name, r06 in ROUND_V06.benchmark_rules.items():
+        r05 = ROUND_V05.benchmark_rules[name]
+        kwargs = dataclasses.asdict(r06)
+        kwargs[field] = getattr(r05, field)
+        rules[name] = RoundBenchmarkRules(**kwargs)
+    return Round("v0.6-ablated", ROUND_V06.max_system_chips, rules)
+
+
+class TestMechanismAttribution:
+    def test_software_efficiency_drives_fixed_scale_speedup(self):
+        """Without software gains, the Fig 4 speedup all but vanishes —
+        at 16 chips the raised targets roughly cancel the batch-cap gains,
+        so efficiency is the speedup's driver."""
+        ablated = v06_without("software_efficiency")
+        for name in ROUND_V06.benchmark_rules:
+            full = best_entry_at_scale(name, ROUND_V06, 16).time_to_train_s
+            no_sw = best_entry_at_scale(name, ablated, 16).time_to_train_s
+            v05 = best_entry_at_scale(name, ROUND_V05, 16).time_to_train_s
+            assert full < no_sw, name
+            assert v05 / no_sw < 1.05, name  # ablated speedup is marginal
+            assert v05 / full > v05 / no_sw, name
+
+    def test_batch_rule_drives_scale_growth(self):
+        """Without the batch-cap raises (LARS etc.), the fastest ResNet
+        entry cannot grow beyond its v0.5 scale — the Fig 5 driver."""
+        ablated = v06_without("max_global_batch")
+        full = fastest_overall_entry("image_classification", ROUND_V06)
+        capped = fastest_overall_entry("image_classification", ablated)
+        v05 = fastest_overall_entry("image_classification", ROUND_V05)
+        assert full.num_chips > capped.num_chips
+        assert capped.num_chips <= v05.num_chips * 2  # availability only
+
+    def test_target_raise_costs_time(self):
+        ablated = v06_without("epochs_multiplier")  # revert to 1.0
+        for name in ROUND_V06.benchmark_rules:
+            with_raise = best_entry_at_scale(name, ROUND_V06, 16).time_to_train_s
+            without = best_entry_at_scale(name, ablated, 16).time_to_train_s
+            assert without < with_raise, name
+
+    def test_entries_respect_round_batch_caps(self):
+        for round_ in (ROUND_V05, ROUND_V06):
+            for name, rules in round_.benchmark_rules.items():
+                entry = fastest_overall_entry(name, round_)
+                assert entry.global_batch <= rules.max_global_batch, (round_.name, name)
+
+    def test_entries_respect_scale_caps(self):
+        for round_ in (ROUND_V05, ROUND_V06):
+            for name in round_.benchmark_rules:
+                entry = fastest_overall_entry(name, round_)
+                assert entry.num_chips <= round_.max_system_chips

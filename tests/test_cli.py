@@ -1,0 +1,83 @@
+"""CLI: every command through main(), end to end where cheap."""
+
+import io
+
+import pytest
+
+from repro.cli import _parse_overrides, build_parser, main
+
+
+def run_cli(*argv) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_override_parsing(self):
+        parsed = _parse_overrides(["batch_size=128", "optimizer=lars", "lr=0.5"])
+        assert parsed == {"batch_size": 128, "optimizer": "lars", "lr": 0.5}
+
+    def test_override_bad_format(self):
+        with pytest.raises(SystemExit):
+            _parse_overrides(["no-equals-sign"])
+
+
+class TestCommands:
+    def test_table1(self):
+        code, text = run_cli("table1")
+        assert code == 0
+        assert "image_classification" in text
+        assert "reinforcement" in text
+
+    def test_simulate(self):
+        code, text = run_cli("simulate")
+        assert code == 0
+        assert "Figure 4" in text and "Figure 5" in text
+
+    def test_hp_table(self):
+        code, text = run_cli("hp-table", "--chips", "1", "64")
+        assert code == 0
+        assert "lars" in text  # the 64-chip image-classification row
+
+    def test_run_score_save_review_report(self, tmp_path):
+        """The full CLI workflow on the fastest benchmark."""
+        code, text = run_cli(
+            "run", "recommendation", "--seeds", "3", "--score",
+            "--save", str(tmp_path), "--submitter", "cli-test",
+        )
+        assert code == 0
+        assert "scored time-to-train" in text
+        assert "artifacts written" in text
+
+        # Review: the saved submission has 3 runs but the rule demands 10 —
+        # review must flag it (non-zero exit), proving review audits files.
+        code, text = run_cli("review", str(tmp_path / "cli-test"))
+        assert code == 1
+        assert "run_count" in text
+
+        # Report still renders (scoring needs only >= 3 runs).
+        code, text = run_cli("report", str(tmp_path / "cli-test"))
+        assert code == 0
+        assert "recommendation" in text
+
+    def test_run_score_needs_three(self):
+        code, text = run_cli("run", "recommendation", "--seeds", "1", "--score")
+        assert code == 2
+        assert "at least 3" in text
+
+    def test_run_with_override(self):
+        code, text = run_cli(
+            "run", "recommendation", "--seeds", "1",
+            "--override", "base_lr=0.003",
+        )
+        assert code == 0
+        assert "reached" in text

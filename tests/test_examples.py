@@ -1,0 +1,52 @@
+"""The example scripts stay runnable (the fast ones run end-to-end)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str], capsys) -> str:
+    old_argv = sys.argv
+    sys.argv = [name] + argv
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_scaling_study(self, capsys):
+        out = run_example("scaling_study.py", [], capsys)
+        assert "Figure 4" in out
+        assert "Figure 5" in out
+        assert "infeasible" in out  # the v0.5 batch cap bites
+
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", [], capsys)
+        assert "Scored time-to-train" in out
+        assert ":::MLLOG" in out
+
+    def test_custom_benchmark(self, capsys):
+        out = run_example("custom_benchmark.py", [], capsys)
+        assert "time_series_forecasting" in out
+        assert "provisional score" in out
+
+    def test_submission_round(self, capsys):
+        out = run_example("submission_round.py", [], capsys)
+        assert "NON-COMPLIANT" in out  # zeta's first submission
+        assert "COMPLIANT" in out
+        assert "summary_score() refused" in out
+
+    @pytest.mark.parametrize("name", [
+        "open_division.py",
+        "numerics_study.py",
+    ])
+    def test_slow_examples_importable(self, name):
+        """Slow examples are at least syntactically valid and importable."""
+        source = (EXAMPLES / name).read_text()
+        compile(source, name, "exec")

@@ -1,0 +1,124 @@
+"""End-to-end integration: a real benchmark through the whole harness.
+
+Uses the recommendation benchmark (sub-second runs) to exercise the full
+pipeline exactly as a submitter would: timed runs → structured logs →
+compliance review → scoring → published report.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BenchmarkRunner,
+    Category,
+    Division,
+    Keys,
+    MLLogger,
+    Submission,
+    SystemDescription,
+    SystemType,
+    build_report,
+    review_submission,
+    score_runs,
+)
+from repro.suite import create_benchmark
+
+
+@pytest.fixture(scope="module")
+def scored_submission():
+    bench = create_benchmark("recommendation")
+    runner = BenchmarkRunner()
+    runs = [runner.run(bench, seed=s) for s in range(bench.spec.required_runs)]
+    system = SystemDescription(
+        submitter="integration",
+        system_name="ci-box",
+        system_type=SystemType.CLOUD,
+        num_nodes=1,
+        processors_per_node=1,
+        processor_type="cpu",
+        accelerators_per_node=0,
+        accelerator_type="none",
+        host_memory_gb=8.0,
+        interconnect="none",
+    )
+    sub = Submission(system, Division.CLOSED, Category.AVAILABLE)
+    sub.add_runs(bench.spec.name, runs)
+    return bench, runs, sub
+
+
+class TestEndToEnd:
+    def test_all_runs_reach_target(self, scored_submission):
+        bench, runs, _ = scored_submission
+        for r in runs:
+            assert r.reached_target
+            assert r.quality >= bench.spec.quality_threshold
+
+    def test_time_to_train_positive_and_wallclock_scale(self, scored_submission):
+        _, runs, _ = scored_submission
+        for r in runs:
+            assert 0.0 < r.time_to_train_s < 60.0
+
+    def test_seed_variation_exists(self, scored_submission):
+        _, runs, _ = scored_submission
+        assert len({r.epochs for r in runs}) > 1 or len(
+            {round(r.time_to_train_s, 3) for r in runs}
+        ) > 1
+
+    def test_logs_reconstruct_quality_history(self, scored_submission):
+        _, runs, _ = scored_submission
+        for r in runs:
+            log = MLLogger.from_lines(r.log_lines)
+            evals = [e.value for e in log.find(Keys.EVAL_ACCURACY)]
+            np.testing.assert_allclose(evals, r.quality_history, rtol=1e-6)
+
+    def test_compliance_review_passes(self, scored_submission):
+        bench, _, sub = scored_submission
+        report = review_submission(sub, {bench.spec.name: bench.spec})
+        assert report.compliant, str(report)
+
+    def test_scoring_and_report(self, scored_submission):
+        bench, runs, sub = scored_submission
+        score = score_runs(runs, required_runs=bench.spec.required_runs)
+        assert score.dropped_fastest_s <= score.time_to_train_s <= score.dropped_slowest_s
+        report = build_report([sub])
+        assert len(report.rows) == 1
+        row = report.rows[0]
+        assert row.time_to_train_s == pytest.approx(score.time_to_train_s)
+        assert row.scale.cloud_scale is not None  # cloud system
+
+    def test_open_division_allows_modified_model(self):
+        """An Open-division run may change fixed HPs; review must accept."""
+        bench = create_benchmark("recommendation")
+        runner = BenchmarkRunner()
+        runs = [
+            runner.run(bench, seed=s, hyperparameter_overrides={"gmf_dim": 16})
+            for s in range(bench.spec.required_runs)
+        ]
+        system = SystemDescription(
+            submitter="open-team", system_name="研-box", system_type=SystemType.ON_PREMISE,
+            num_nodes=1, processors_per_node=1, processor_type="cpu",
+            accelerators_per_node=0, accelerator_type="none",
+            host_memory_gb=8.0, interconnect="none",
+        )
+        sub = Submission(system, Division.OPEN, Category.RESEARCH)
+        sub.add_runs(bench.spec.name, runs)
+        report = review_submission(sub, {bench.spec.name: bench.spec})
+        assert report.compliant, str(report)
+
+    def test_closed_division_rejects_same_modification(self):
+        bench = create_benchmark("recommendation")
+        runner = BenchmarkRunner()
+        runs = [
+            runner.run(bench, seed=s, hyperparameter_overrides={"gmf_dim": 16})
+            for s in range(bench.spec.required_runs)
+        ]
+        system = SystemDescription(
+            submitter="closed-team", system_name="box", system_type=SystemType.ON_PREMISE,
+            num_nodes=1, processors_per_node=1, processor_type="cpu",
+            accelerators_per_node=0, accelerator_type="none",
+            host_memory_gb=8.0, interconnect="none",
+        )
+        sub = Submission(system, Division.CLOSED, Category.AVAILABLE)
+        sub.add_runs(bench.spec.name, runs)
+        report = review_submission(sub, {bench.spec.name: bench.spec})
+        assert not report.compliant
