@@ -21,6 +21,9 @@ core
     run aggregation, divisions, submissions, review, reporting.
 systems
     Data-parallel system simulator used for the scaling studies (Figs 4/5).
+telemetry
+    Observability: trace spans (Chrome trace_event export), run metrics,
+    and profiling hooks — zero-overhead no-ops until a session is activated.
 """
 
 __version__ = "0.1.0"

@@ -8,6 +8,11 @@ Commands mirror how the MLPerf artifacts are used in practice:
 - ``review`` — compliance-review a saved submission directory;
 - ``report`` — build the published per-benchmark results table from saved
   submissions;
+- ``trace`` — convert a saved training-session log into a Chrome-loadable
+  ``trace_event`` file (``run --trace FILE`` records one live, with spans
+  down to individual training steps);
+- ``stats`` — print the per-benchmark time-decomposition table for saved
+  submissions (where the wall-clock went: init/create/train/eval);
 - ``hp-table`` — print the §6 scale → hyperparameters recommendation table;
 - ``simulate`` — print the Figure 4/5 round-simulation summaries.
 """
@@ -45,12 +50,28 @@ def build_parser() -> argparse.ArgumentParser:
                      help="save submission artifacts under DIR")
     run.add_argument("--submitter", default="cli-user",
                      help="submitter name for saved artifacts")
+    run.add_argument("--trace", metavar="FILE",
+                     help="record trace spans and write a Chrome trace_event "
+                          "JSON file (open in chrome://tracing or Perfetto)")
 
     review = sub.add_parser("review", help="compliance-review a saved submission")
     review.add_argument("submission_dir", help="submitter directory (from `run --save`)")
 
     report = sub.add_parser("report", help="render the results table from submissions")
     report.add_argument("submission_dirs", nargs="+", help="submitter directories")
+
+    trace = sub.add_parser(
+        "trace", help="convert a saved run log into a Chrome trace_event file")
+    trace.add_argument("log_file",
+                       help="a result_*.txt from `run --save` (or any file "
+                            "containing :::MLLOG lines)")
+    trace.add_argument("-o", "--out", metavar="FILE",
+                       help="output path (default: <log_file>.trace.json)")
+
+    stats = sub.add_parser(
+        "stats", help="per-benchmark time decomposition for saved submissions")
+    stats.add_argument("submission_dirs", nargs="+",
+                       help="submitter directories (from `run --save`)")
 
     hp = sub.add_parser("hp-table", help="print the scale->hyperparameters table (§6)")
     hp.add_argument("--chips", type=int, nargs="+", default=[1, 4, 16, 64])
@@ -92,16 +113,39 @@ def _cmd_run(args, out) -> int:
     )
     from .suite import create_benchmark
 
+    from .telemetry import Telemetry
+
     benchmark = create_benchmark(args.benchmark)
     overrides = _parse_overrides(args.override) or None
     runner = BenchmarkRunner()
     runs = []
+    trace_events = []
     for seed in range(args.seeds):
-        result = runner.run(benchmark, seed=seed, hyperparameter_overrides=overrides)
+        # One telemetry session per seed (pid=seed) so a multi-run trace
+        # file keeps its runs on separate process rows in the viewer.
+        telemetry = Telemetry(clock=runner.clock, pid=seed) if args.trace else None
+        result = runner.run(benchmark, seed=seed, hyperparameter_overrides=overrides,
+                            telemetry=telemetry)
         status = "reached" if result.reached_target else "FAILED"
         print(f"seed {seed}: {status} quality={result.quality:.4f} "
               f"epochs={result.epochs} ttt={result.time_to_train_s:.3f}s", file=out)
+        if result.breakdown is not None:
+            b = result.breakdown
+            print(f"  breakdown: init={b.init_seconds:.3f}s "
+                  f"create={b.model_creation_seconds:.3f}s "
+                  f"(excluded {b.excluded_model_creation_seconds:.3f}s) "
+                  f"run={b.run_seconds:.3f}s", file=out)
+        if telemetry is not None:
+            trace_events.extend(telemetry.tracer.chrome_events())
         runs.append(result)
+
+    if args.trace:
+        from pathlib import Path
+
+        Path(args.trace).write_text(json.dumps(
+            {"traceEvents": trace_events, "displayTimeUnit": "ms"}, sort_keys=True))
+        print(f"trace written to {args.trace} ({len(trace_events)} events); "
+              f"open in chrome://tracing or https://ui.perfetto.dev", file=out)
 
     exit_code = 0 if all(r.reached_target for r in runs) else 1
     if args.score:
@@ -150,6 +194,48 @@ def _cmd_report(args, out) -> int:
     return 0
 
 
+def _cmd_trace(args, out) -> int:
+    from pathlib import Path
+
+    from .core import parse_log_lines
+    from .telemetry import trace_from_log_events
+
+    path = Path(args.log_file)
+    if not path.is_file():
+        print(f"no such log file: {path}", file=out)
+        return 1
+    events = parse_log_lines(path.read_text())
+    if not events:
+        print(f"no :::MLLOG events found in {path}", file=out)
+        return 1
+    doc = trace_from_log_events(events)
+    out_path = Path(args.out) if args.out else path.with_suffix(path.suffix + ".trace.json")
+    out_path.write_text(json.dumps(doc, sort_keys=True))
+    print(f"trace written to {out_path} ({len(doc['traceEvents'])} events); "
+          f"open in chrome://tracing or https://ui.perfetto.dev", file=out)
+    return 0
+
+
+def _cmd_stats(args, out) -> int:
+    from .core import build_phase_table, load_submission, render_phase_table
+
+    runs_by_benchmark: dict[str, list] = {}
+    for directory in args.submission_dirs:
+        try:
+            submission = load_submission(directory)
+        except FileNotFoundError as exc:
+            print(f"cannot load submission {directory}: {exc}", file=out)
+            return 1
+        for benchmark, runs in submission.runs.items():
+            runs_by_benchmark.setdefault(benchmark, []).extend(runs)
+    rows = build_phase_table(runs_by_benchmark)
+    if not rows:
+        print("no runs found in the given submissions", file=out)
+        return 1
+    print(render_phase_table(rows), file=out)
+    return 0
+
+
 def _cmd_hp_table(args, out) -> int:
     from .core.hp_table import recommendation_table, render_table
     from .suite import all_specs
@@ -184,6 +270,8 @@ _COMMANDS = {
     "run": _cmd_run,
     "review": _cmd_review,
     "report": _cmd_report,
+    "trace": _cmd_trace,
+    "stats": _cmd_stats,
     "hp-table": _cmd_hp_table,
     "simulate": _cmd_simulate,
 }

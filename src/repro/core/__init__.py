@@ -11,10 +11,11 @@ from .timing import (
     Clock,
     FakeClock,
     MODEL_CREATION_EXCLUSION_CAP_S,
+    TimingBreakdown,
     TrainingTimer,
     WallClock,
 )
-from .runner import BenchmarkRunner, RunResult
+from .runner import BenchmarkRunner, RunFailure, RunResult
 from .results import (
     BenchmarkScore,
     REQUIRED_RUNS_BY_AREA,
@@ -31,10 +32,13 @@ from .submission import (
 )
 from .review import ReviewReport, borrow_hyperparameters, review_submission
 from .reporting import (
+    PhaseRow,
     ResultsReport,
     ResultsRow,
     SummaryScoreRefused,
+    build_phase_table,
     build_report,
+    render_phase_table,
     summary_score,
 )
 from .rcp import ReferenceConvergencePoints, check_convergence, collect_reference_points
@@ -72,9 +76,11 @@ __all__ = [
     "Clock",
     "FakeClock",
     "MODEL_CREATION_EXCLUSION_CAP_S",
+    "TimingBreakdown",
     "TrainingTimer",
     "WallClock",
     "BenchmarkRunner",
+    "RunFailure",
     "RunResult",
     "BenchmarkScore",
     "REQUIRED_RUNS_BY_AREA",
@@ -91,10 +97,13 @@ __all__ = [
     "ReviewReport",
     "borrow_hyperparameters",
     "review_submission",
+    "PhaseRow",
     "ResultsReport",
     "ResultsRow",
     "SummaryScoreRefused",
+    "build_phase_table",
     "build_report",
+    "render_phase_table",
     "summary_score",
     "ACCELERATOR_WEIGHTS",
     "ScaleReport",

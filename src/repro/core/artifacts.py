@@ -27,6 +27,7 @@ from .mllog import Keys, MLLogger, parse_log_lines
 from .review import ReviewReport, review_submission
 from .runner import RunResult
 from .submission import Category, Division, Submission, SystemDescription, SystemType
+from .timing import TimingBreakdown
 
 __all__ = ["save_submission", "load_submission", "review_directory", "check_log_text"]
 
@@ -63,6 +64,9 @@ def save_submission(submission: Submission, root: str | Path) -> Path:
                     "epochs": run.epochs,
                     "quality": run.quality,
                     "reached_target": run.reached_target,
+                    "breakdown": (
+                        asdict(run.breakdown) if run.breakdown is not None else None
+                    ),
                 },
                 sort_keys=True,
             )
@@ -122,6 +126,7 @@ def _parse_result_file(benchmark: str, path: Path) -> RunResult:
     header = json.loads(first[len("# repro-run "):])
     log_lines = [line for line in rest.splitlines() if line.strip()]
     history = [float(e.value) for e in parse_log_lines(rest) if e.key == Keys.EVAL_ACCURACY]
+    raw_breakdown = header.get("breakdown")
     return RunResult(
         benchmark=benchmark,
         seed=int(header["seed"]),
@@ -132,6 +137,7 @@ def _parse_result_file(benchmark: str, path: Path) -> RunResult:
         time_to_train_s=float(header["time_to_train_s"]),
         quality_history=history,
         log_lines=log_lines,
+        breakdown=TimingBreakdown(**raw_breakdown) if raw_breakdown else None,
     )
 
 

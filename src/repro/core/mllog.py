@@ -46,6 +46,10 @@ class Keys:
     SEED = "seed"
     QUALITY_TARGET = "quality_target"
     TARGET_REACHED = "target_reached"
+    # Observability keys (mirroring mlperf-logging's throughput/tracked
+    # stats): per-epoch rate and free-form per-interval stats dicts.
+    THROUGHPUT = "throughput"
+    TRACKED_STATS = "tracked_stats"
 
 
 @dataclass(frozen=True)
@@ -80,7 +84,9 @@ class LogEvent:
 
 
 def _jsonify(obj: Any):
-    """JSON fallback for numpy scalars / tuples."""
+    """JSON fallback for numpy scalars, numpy arrays, and sets."""
+    if hasattr(obj, "tolist"):  # ndarray and numpy scalars alike
+        return obj.tolist()
     if hasattr(obj, "item"):
         return obj.item()
     if isinstance(obj, (set, frozenset)):
@@ -133,8 +139,14 @@ class MLLogger:
 
     @staticmethod
     def from_lines(lines: list[str]) -> "MLLogger":
+        """Parse log lines, skipping non-MLLOG lines like :func:`parse_log_lines`.
+
+        Real result files interleave ``:::MLLOG`` records with free-text
+        output (headers, stack traces, launcher chatter); both parsing
+        entry points skip that uniformly.
+        """
         logger = MLLogger(clock=lambda: 0.0)
-        logger.events = [LogEvent.from_line(line) for line in lines if line.strip()]
+        logger.events = [LogEvent.from_line(line) for line in _mllog_lines(lines)]
         return logger
 
 
@@ -147,6 +159,11 @@ def _scrub(value: Any) -> Any:
     return value
 
 
+def _mllog_lines(lines) -> list[str]:
+    """The subset of ``lines`` that are MLLOG records (whitespace-tolerant)."""
+    return [line.strip() for line in lines if line.strip().startswith(_PREFIX)]
+
+
 def parse_log_lines(text: str) -> list[LogEvent]:
-    """Parse a whole log file's text into events."""
-    return [LogEvent.from_line(line) for line in text.splitlines() if line.startswith(_PREFIX)]
+    """Parse a whole log file's text into events, skipping non-MLLOG lines."""
+    return [LogEvent.from_line(line) for line in _mllog_lines(text.splitlines())]

@@ -14,11 +14,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..telemetry import decompose_log_events
+from .mllog import parse_log_lines
 from .results import BenchmarkScore, score_runs
+from .runner import RunResult
 from .scaling import ScaleReport, system_cloud_scale
 from .submission import Submission, SystemType
 
-__all__ = ["ResultsRow", "ResultsReport", "build_report", "summary_score", "SummaryScoreRefused"]
+__all__ = ["ResultsRow", "ResultsReport", "build_report", "summary_score",
+           "SummaryScoreRefused", "PhaseRow", "build_phase_table",
+           "render_phase_table"]
 
 
 class SummaryScoreRefused(RuntimeError):
@@ -77,6 +82,70 @@ class ResultsReport:
                 f"{row.scale.num_processors:>7}{row.scale.num_accelerators:>7}"
             )
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class PhaseRow:
+    """Mean per-phase wall-clock for one benchmark's runs (DAWNBench-style).
+
+    ``init``/``model_creation``/``time_to_train`` come from the timing
+    state machine's :class:`~repro.core.timing.TimingBreakdown` when the
+    run carries one; ``train``/``eval`` decompose the timed region from
+    the structured log's paired epoch/eval events.  ``other`` is run time
+    inside neither (loop and logging overhead).
+    """
+
+    benchmark: str
+    num_runs: int
+    init_s: float
+    model_creation_s: float
+    train_s: float
+    eval_s: float
+    other_s: float
+    time_to_train_s: float
+
+
+def _decompose_run(run: RunResult):
+    phases = decompose_log_events(parse_log_lines("\n".join(run.log_lines)))
+    if run.breakdown is not None:
+        init = run.breakdown.init_seconds
+        creation = run.breakdown.model_creation_seconds
+        ttt = run.breakdown.time_to_train_seconds
+    else:  # runs loaded from pre-breakdown artifacts fall back to the log
+        init = phases.init_s
+        creation = phases.model_creation_s
+        ttt = run.time_to_train_s
+    return init, creation, phases.train_s, phases.eval_s, phases.other_s, ttt
+
+
+def build_phase_table(runs_by_benchmark: dict[str, list[RunResult]]) -> list[PhaseRow]:
+    """Aggregate per-run phase decompositions into per-benchmark means."""
+    rows = []
+    for benchmark, runs in sorted(runs_by_benchmark.items()):
+        if not runs:
+            continue
+        parts = [_decompose_run(r) for r in runs]
+        means = [sum(p[i] for p in parts) / len(parts) for i in range(6)]
+        rows.append(PhaseRow(benchmark, len(runs), *means))
+    return rows
+
+
+def render_phase_table(rows: list[PhaseRow]) -> str:
+    """The ``repro stats`` table: where each benchmark's wall-clock goes."""
+    header = (
+        f"{'Benchmark':<26}{'Runs':>6}{'Init':>9}{'Create':>9}{'Train':>9}"
+        f"{'Eval':>9}{'Other':>9}{'TTT (s)':>10}{'Train%':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        timed = row.train_s + row.eval_s + row.other_s
+        train_pct = 100.0 * row.train_s / timed if timed > 0 else 0.0
+        lines.append(
+            f"{row.benchmark:<26}{row.num_runs:>6}{row.init_s:>9.3f}"
+            f"{row.model_creation_s:>9.3f}{row.train_s:>9.3f}{row.eval_s:>9.3f}"
+            f"{row.other_s:>9.3f}{row.time_to_train_s:>10.3f}{train_pct:>7.1f}%"
+        )
+    return "\n".join(lines)
 
 
 def build_report(submissions: list[Submission]) -> ResultsReport:

@@ -19,7 +19,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-__all__ = ["Clock", "WallClock", "FakeClock", "TrainingTimer",
+__all__ = ["Clock", "WallClock", "FakeClock", "TrainingTimer", "TimingBreakdown",
            "MODEL_CREATION_EXCLUSION_CAP_S"]
 
 # The paper's cap is 20 minutes on datacenter-scale runs.  Our runs are
@@ -68,6 +68,7 @@ class TimingBreakdown:
     excluded_model_creation_seconds: float
     run_seconds: float
     time_to_train_seconds: float
+    aborted: bool = False
 
 
 class TrainingTimer:
@@ -80,9 +81,26 @@ class TrainingTimer:
 
     ``time_to_train`` = (run_stop - run_start)
                         + max(model_creation - cap, 0).
+
+    A run that fails mid-phase calls :meth:`abort`, which closes every
+    open interval at the failure instant so the timing record stays
+    finalizable (and auditable) instead of stuck mid-state.
     """
 
     _ORDER = ["created", "init", "ready", "model_creation", "armed", "running", "stopped"]
+
+    # The mark each in-flight state is waiting on, in phase order; abort()
+    # stamps all of the remaining ones with the failure time.
+    _PENDING_MARKS = {
+        "created": ["init_start", "init_stop", "model_creation_start",
+                    "model_creation_stop", "run_start", "run_stop"],
+        "init": ["init_stop", "model_creation_start", "model_creation_stop",
+                 "run_start", "run_stop"],
+        "ready": ["model_creation_start", "model_creation_stop", "run_start", "run_stop"],
+        "model_creation": ["model_creation_stop", "run_start", "run_stop"],
+        "armed": ["run_start", "run_stop"],
+        "running": ["run_stop"],
+    }
 
     def __init__(self, clock: Clock, model_creation_cap_s: float = MODEL_CREATION_EXCLUSION_CAP_S):
         self.clock = clock
@@ -121,20 +139,35 @@ class TrainingTimer:
         """Quality target achieved — timing ends."""
         self._advance("running", "stopped", "run_stop")
 
+    def abort(self) -> None:
+        """Finalize a failed run: close every open interval at *now*.
+
+        Any phase still pending gets a zero-length interval stamped at the
+        failure time, so :meth:`time_to_train` and :meth:`breakdown` stay
+        computable (the breakdown is marked ``aborted``).  Aborting a run
+        that already stopped is an error — its timing record is final.
+        """
+        if self.state in ("stopped", "aborted"):
+            raise RuntimeError(f"cannot abort a run in state {self.state!r}")
+        now = self.clock.now()
+        for mark in self._PENDING_MARKS[self.state]:
+            self._marks[mark] = now
+        self.state = "aborted"
+
     @property
     def model_creation_seconds(self) -> float:
         return self._marks["model_creation_stop"] - self._marks["model_creation_start"]
 
     def time_to_train(self) -> float:
         """The scored metric, per the exclusion rules."""
-        if self.state != "stopped":
+        if self.state not in ("stopped", "aborted"):
             raise RuntimeError("run has not stopped; no time-to-train yet")
         run = self._marks["run_stop"] - self._marks["run_start"]
         overflow = max(self.model_creation_seconds - self.cap, 0.0)
         return run + overflow
 
     def breakdown(self) -> TimingBreakdown:
-        if self.state != "stopped":
+        if self.state not in ("stopped", "aborted"):
             raise RuntimeError("run has not stopped; no breakdown yet")
         creation = self.model_creation_seconds
         return TimingBreakdown(
@@ -143,4 +176,5 @@ class TrainingTimer:
             excluded_model_creation_seconds=min(creation, self.cap),
             run_seconds=self._marks["run_stop"] - self._marks["run_start"],
             time_to_train_seconds=self.time_to_train(),
+            aborted=self.state == "aborted",
         )

@@ -25,6 +25,7 @@ from ..framework import (
 )
 from ..metrics import top1_accuracy
 from ..models import MiniResNet
+from ..telemetry import current_metrics, current_tracer
 from .base import Benchmark, BenchmarkSpec, TrainingSession
 
 __all__ = ["ImageClassificationBenchmark"]
@@ -89,13 +90,17 @@ class _Session(TrainingSession):
 
     def run_epoch(self, epoch: int) -> None:
         self.model.train()
+        tracer = current_tracer()
+        samples = current_metrics().counter("samples_seen")
         for images, labels in self.loader:
-            logits = self.model(Tensor(images))
-            loss = F.cross_entropy(logits, labels)
-            self.model.zero_grad()
-            loss.backward()
-            self.optimizer.step()
-            self.scheduler.step()
+            with tracer.span("train_step", batch=len(images)):
+                logits = self.model(Tensor(images))
+                loss = F.cross_entropy(logits, labels)
+                self.model.zero_grad()
+                loss.backward()
+                self.optimizer.step()
+                self.scheduler.step()
+            samples.inc(len(images))
 
     def evaluate(self) -> float:
         self.model.eval()

@@ -14,6 +14,7 @@ from ..datasets import SceneConfig, ShapeScenes
 from ..framework import SGD, Tensor, WarmupStepLR
 from ..metrics import GroundTruth, mean_average_precision
 from ..models import MiniSSD
+from ..telemetry import current_metrics, current_tracer
 from .base import Benchmark, BenchmarkSpec, TrainingSession
 
 __all__ = ["ObjectDetectionBenchmark"]
@@ -67,16 +68,21 @@ class _Session(TrainingSession):
         rng = np.random.default_rng((self.seed, epoch))
         order = rng.permutation(len(self.scenes.train))
         bs = self.hp["batch_size"]
+        tracer = current_tracer()
+        samples = current_metrics().counter("samples_seen")
         for start in range(0, len(order) - bs + 1, bs):
             batch = [self.scenes.train[i] for i in order[start : start + bs]]
-            images = Tensor(ShapeScenes.batch_images(batch))
-            boxes = [np.stack([o.box for o in s.objects]) for s in batch]
-            labels = [np.array([o.label for o in s.objects]) for s in batch]
-            loss = self.model.loss(images, boxes, labels, negative_ratio=self.hp["negative_ratio"])
-            self.model.zero_grad()
-            loss.backward()
-            self.optimizer.step()
-            self.scheduler.step()
+            with tracer.span("train_step", batch=bs):
+                images = Tensor(ShapeScenes.batch_images(batch))
+                boxes = [np.stack([o.box for o in s.objects]) for s in batch]
+                labels = [np.array([o.label for o in s.objects]) for s in batch]
+                loss = self.model.loss(images, boxes, labels,
+                                       negative_ratio=self.hp["negative_ratio"])
+                self.model.zero_grad()
+                loss.backward()
+                self.optimizer.step()
+                self.scheduler.step()
+            samples.inc(bs)
 
     def evaluate(self) -> float:
         self.model.eval()

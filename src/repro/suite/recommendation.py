@@ -14,6 +14,7 @@ from ..datasets import InteractionConfig, SyntheticInteractions
 from ..framework import Adam
 from ..metrics import leave_one_out_eval
 from ..models import NCF
+from ..telemetry import current_metrics, current_tracer
 from .base import Benchmark, BenchmarkSpec, TrainingSession
 
 __all__ = ["RecommendationBenchmark"]
@@ -59,14 +60,18 @@ class _Session(TrainingSession):
         rng = np.random.default_rng((self.seed, epoch))
         n_pos = len(self.data.train_users)
         bs = self.hp["batch_size"]
+        tracer = current_tracer()
+        samples = current_metrics().counter("samples_seen")
         for _ in range(max(n_pos // bs, 1)):
-            users, items, labels = self.data.sample_training_batch(
-                bs, self.hp["num_negatives"], rng
-            )
-            loss = self.model.loss(users, items, labels)
-            self.model.zero_grad()
-            loss.backward()
-            self.optimizer.step()
+            with tracer.span("train_step", batch=bs):
+                users, items, labels = self.data.sample_training_batch(
+                    bs, self.hp["num_negatives"], rng
+                )
+                loss = self.model.loss(users, items, labels)
+                self.model.zero_grad()
+                loss.backward()
+                self.optimizer.step()
+            samples.inc(len(users))
 
     def evaluate(self) -> float:
         self.model.eval()

@@ -27,6 +27,7 @@ from ..go import MCTSConfig, selfplay_batch
 from ..go.pro import DEFAULT_KOMI, pro_reference_games
 from ..metrics import move_match_rate
 from ..models import MiniGoNet
+from ..telemetry import current_metrics, current_tracer
 from .base import Benchmark, BenchmarkSpec, TrainingSession
 
 __all__ = ["ReinforcementBenchmark"]
@@ -74,26 +75,33 @@ class _Session(TrainingSession):
         self.ref_legal_masks = benchmark.ref_legal_masks
 
     def run_epoch(self, epoch: int) -> None:
+        tracer = current_tracer()
+        metrics = current_metrics()
         # 1. Self-play data generation (the expensive exploration phase).
-        examples = selfplay_batch(
-            self.model, self.hp["games_per_iteration"], self.board_size, self.rng,
-            self.mcts_config, komi=self.komi,
-        )
+        with tracer.span("selfplay", games=self.hp["games_per_iteration"]):
+            examples = selfplay_batch(
+                self.model, self.hp["games_per_iteration"], self.board_size, self.rng,
+                self.mcts_config, komi=self.komi,
+            )
         self.replay.extend(examples)
         if len(self.replay) > self.hp["replay_capacity"]:
             self.replay = self.replay[-self.hp["replay_capacity"] :]
+        metrics.gauge("replay_buffer_size").set(len(self.replay))
         # 2. Gradient steps on the replay buffer.
         self.model.train()
-        for _ in range(self.hp["train_steps_per_iteration"]):
-            idx = self.rng.integers(0, len(self.replay), size=min(self.hp["batch_size"],
-                                                                  len(self.replay)))
-            planes = np.stack([self.replay[i].planes for i in idx])
-            policy = np.stack([self.replay[i].policy for i in idx])
-            value = np.array([self.replay[i].value for i in idx])
-            loss = self.model.loss(planes, policy, value)
-            self.model.zero_grad()
-            loss.backward()
-            self.optimizer.step()
+        samples = metrics.counter("samples_seen")
+        with tracer.span("train_steps", steps=self.hp["train_steps_per_iteration"]):
+            for _ in range(self.hp["train_steps_per_iteration"]):
+                idx = self.rng.integers(0, len(self.replay), size=min(self.hp["batch_size"],
+                                                                      len(self.replay)))
+                planes = np.stack([self.replay[i].planes for i in idx])
+                policy = np.stack([self.replay[i].policy for i in idx])
+                value = np.array([self.replay[i].value for i in idx])
+                loss = self.model.loss(planes, policy, value)
+                self.model.zero_grad()
+                loss.backward()
+                self.optimizer.step()
+                samples.inc(len(idx))
 
     def evaluate(self) -> float:
         self.model.eval()

@@ -26,6 +26,7 @@ import numpy as np
 from ..framework.module import Module
 from ..framework.optim import Optimizer
 from ..framework.tensor import Tensor
+from ..telemetry import current_metrics, current_tracer
 
 __all__ = ["SynchronousDataParallel", "AsynchronousDataParallel", "shard_batch"]
 
@@ -65,26 +66,34 @@ class SynchronousDataParallel:
 
     def step(self, batch: tuple[np.ndarray, ...]) -> float:
         """One global step; returns the mean loss across workers."""
+        tracer = current_tracer()
         shards = shard_batch(batch, self.num_workers)
         accumulated: dict[int, np.ndarray] = {}
         total_loss = 0.0
-        for shard in shards:
-            self.model.zero_grad()
-            loss = self.loss_fn(self.model, shard)
-            loss.backward()
-            total_loss += float(loss.data)
-            for p in self.model.parameters():
-                if p.grad is None:
-                    continue
-                if id(p) in accumulated:
-                    accumulated[id(p)] += p.grad
-                else:
-                    accumulated[id(p)] = p.grad.copy()
-        # All-reduce: average and install the global gradient.
-        for p in self.model.parameters():
-            grad = accumulated.get(id(p))
-            p.grad = None if grad is None else grad / self.num_workers
-        self.optimizer.step()
+        with tracer.span("dp_step", num_workers=self.num_workers, batch=len(batch[0])):
+            for w, shard in enumerate(shards):
+                with tracer.span("worker_grad", worker=w):
+                    self.model.zero_grad()
+                    loss = self.loss_fn(self.model, shard)
+                    loss.backward()
+                total_loss += float(loss.data)
+                for p in self.model.parameters():
+                    if p.grad is None:
+                        continue
+                    if id(p) in accumulated:
+                        accumulated[id(p)] += p.grad
+                    else:
+                        accumulated[id(p)] = p.grad.copy()
+            # All-reduce: average and install the global gradient.
+            with tracer.span("all_reduce", num_workers=self.num_workers):
+                reduced_elements = 0
+                for p in self.model.parameters():
+                    grad = accumulated.get(id(p))
+                    if grad is not None:
+                        reduced_elements += grad.size
+                    p.grad = None if grad is None else grad / self.num_workers
+                current_metrics().counter("allreduce_elements").inc(reduced_elements)
+            self.optimizer.step()
         self.model.zero_grad()
         return total_loss / self.num_workers
 

@@ -1,0 +1,74 @@
+"""Session-wide observability: trace spans, metrics, and profiling hooks.
+
+The paper's §4.1 makes structured training-session logs "the foundation
+for subsequent result analysis"; DAWNBench (Coleman et al., 2018) showed
+that time-to-accuracy is only interpretable when wall-clock can be
+decomposed into data pipeline vs. compute vs. eval.  This package is the
+measurement substrate for that decomposition:
+
+- :mod:`repro.telemetry.trace` — nested :class:`Span`/:class:`Tracer`
+  with a context-manager API and Chrome ``trace_event`` JSON export;
+- :mod:`repro.telemetry.metrics` — counters, gauges, and fixed-bucket
+  histograms in a :class:`MetricsRegistry` with a text summary renderer;
+- :mod:`repro.telemetry.profile` — the :class:`Instrumented` module
+  wrapper and phase decomposition of structured logs.
+
+Telemetry is **zero-overhead by default**: the ambient tracer and
+registry are disabled no-ops until a :class:`Telemetry` session is
+activated (``with telemetry.activate(): ...``).  Instrumentation sites
+deep in the suite and framework reach the ambient instances through
+:func:`current_tracer` / :func:`current_metrics`, so no constructor
+threading is required.  Both drive off the same injectable clock as
+:class:`repro.core.timing.Clock`, so traces are deterministic under
+``FakeClock``.
+"""
+
+from .trace import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    chrome_trace_from_intervals,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+)
+from .context import (
+    Telemetry,
+    activate,
+    current_metrics,
+    current_telemetry,
+    current_tracer,
+)
+from .profile import (
+    Instrumented,
+    PhaseDecomposition,
+    RunTelemetry,
+    decompose_log_events,
+    trace_from_log_events,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instrumented",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_SPAN",
+    "PhaseDecomposition",
+    "RunTelemetry",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "activate",
+    "chrome_trace_from_intervals",
+    "current_metrics",
+    "current_telemetry",
+    "current_tracer",
+    "decompose_log_events",
+    "trace_from_log_events",
+]

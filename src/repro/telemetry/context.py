@@ -1,0 +1,68 @@
+"""Ambient telemetry: the active tracer/metrics pair for this context.
+
+Instrumentation sites live deep inside the suite, the framework, and the
+data-parallel engine — threading a tracer argument through every layer
+would couple all of them to observability concerns.  Instead one
+:class:`Telemetry` session is *activated* for the dynamic extent of a run
+(a ``contextvars.ContextVar``, so it composes with threads), and hot-path
+code reaches it via :func:`current_tracer` / :func:`current_metrics`.
+
+The default, when nothing is activated, is a disabled tracer and the null
+registry: every probe collapses to an attribute check and a no-op call.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from contextvars import ContextVar
+
+from .metrics import NULL_METRICS, MetricsRegistry
+from .trace import Tracer
+
+__all__ = ["Telemetry", "activate", "current_telemetry", "current_tracer",
+           "current_metrics"]
+
+
+class Telemetry:
+    """One observability session: a tracer plus a metrics registry."""
+
+    def __init__(self, clock=None, enabled: bool = True, pid: int = 0):
+        self.enabled = enabled
+        self.tracer = Tracer(clock=clock, enabled=enabled, pid=pid)
+        self.metrics = MetricsRegistry(enabled=enabled) if enabled else NULL_METRICS
+
+    @contextlib.contextmanager
+    def activate(self):
+        """Make this session the ambient one for the enclosed extent."""
+        token = _ACTIVE.set(self)
+        try:
+            yield self
+        finally:
+            _ACTIVE.reset(token)
+
+    @staticmethod
+    def disabled() -> "Telemetry":
+        """The shared no-op session (what runs get when not observed)."""
+        return _DISABLED
+
+
+_DISABLED = Telemetry(enabled=False)
+_ACTIVE: ContextVar[Telemetry] = ContextVar("repro_telemetry", default=_DISABLED)
+
+
+def current_telemetry() -> Telemetry:
+    """The ambient session (the disabled singleton when none is active)."""
+    return _ACTIVE.get()
+
+
+def current_tracer() -> Tracer:
+    return _ACTIVE.get().tracer
+
+
+def current_metrics() -> MetricsRegistry:
+    return _ACTIVE.get().metrics
+
+
+def activate(telemetry: Telemetry):
+    """Module-level alias: ``with activate(t): ...``."""
+    return telemetry.activate()

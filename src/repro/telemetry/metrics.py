@@ -1,0 +1,197 @@
+"""Run metrics: counters, gauges, and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is the per-session home for instruments:
+``registry.counter("samples_seen").inc(64)`` from anywhere that holds (or
+ambiently reaches) the registry.  Snapshots are plain JSON-serializable
+dicts so they travel inside :class:`~repro.core.runner.RunResult` and
+submission artifacts; :meth:`MetricsRegistry.render` gives the plain-text
+summary the ``repro stats`` command prints.
+
+The null registry (:data:`NULL_METRICS`) hands out shared no-op
+instruments — the zero-overhead default when telemetry is not active.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Sequence
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "NULL_METRICS"]
+
+# Geometric-ish default buckets (seconds-flavored): spans µs-scale steps to
+# minute-scale epochs without per-metric tuning.
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0)
+
+
+class Counter:
+    """Monotonically increasing count (samples seen, steps taken, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-written value (current throughput, replay-buffer size, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram of observations (epoch seconds, ...).
+
+    ``buckets`` are inclusive upper bounds; observations above the last
+    bound land in an implicit overflow bucket.  Count/sum/min/max are
+    tracked exactly, so means are not quantized by the bucket layout.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be a sorted non-empty sequence")
+        self.name = name
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(self.buckets) + 1)  # +1 overflow bucket
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+        }
+
+
+class _NullInstrument:
+    """One object that absorbs every instrument method as a no-op."""
+
+    __slots__ = ()
+    value = 0.0
+    count = 0
+    sum = 0.0
+    mean = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+    def set(self, value: float) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "null"}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Named instruments for one telemetry session.
+
+    Get-or-create semantics: asking twice for the same name returns the
+    same instrument; asking for the same name as a different kind is an
+    error (a name means one thing per session).
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._instruments: dict[str, Any] = {}
+
+    def _get(self, name: str, kind, *args):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = kind(name, *args)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise TypeError(
+                f"metric {name!r} is a {type(instrument).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        return self._get(name, Histogram, buckets)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """JSON-serializable view of every instrument."""
+        return {name: inst.snapshot() for name, inst in sorted(self._instruments.items())}
+
+    def render(self) -> str:
+        """Plain-text summary table (one line per instrument)."""
+        if not self._instruments:
+            return "(no metrics recorded)"
+        lines = [f"{'metric':<28}{'kind':<11}{'value / stats'}"]
+        lines.append("-" * len(lines[0]))
+        for name, inst in sorted(self._instruments.items()):
+            if isinstance(inst, Counter):
+                lines.append(f"{name:<28}{'counter':<11}{inst.value:g}")
+            elif isinstance(inst, Gauge):
+                lines.append(f"{name:<28}{'gauge':<11}{inst.value:g}")
+            else:
+                stats = (f"n={inst.count} mean={inst.mean:.4g}"
+                         + (f" min={inst.min:.4g} max={inst.max:.4g}" if inst.count else ""))
+                lines.append(f"{name:<28}{'histogram':<11}{stats}")
+        return "\n".join(lines)
+
+
+NULL_METRICS = MetricsRegistry(enabled=False)

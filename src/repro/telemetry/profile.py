@@ -1,0 +1,167 @@
+"""Profiling hooks and per-phase decomposition of training sessions.
+
+Three pieces:
+
+- :class:`Instrumented` — an opt-in wrapper that makes any
+  :class:`~repro.framework.module.Module` emit ``forward/<label>`` and
+  ``backward/<label>`` spans to the ambient tracer;
+- :func:`decompose_log_events` — reduce a §4.1 structured log to the
+  DAWNBench-style question "where did the wall-clock go": init vs. model
+  creation vs. train epochs vs. eval;
+- :func:`trace_from_log_events` — reconstruct a Chrome-loadable trace
+  from the paired ``*_start``/``*_stop`` events of a saved log, so
+  ``repro trace`` works on published artifacts, not just live runs.
+
+:class:`RunTelemetry` is the serializable snapshot a finished run carries
+in :class:`~repro.core.runner.RunResult.telemetry`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable
+
+from ..framework.module import Module
+from .context import current_metrics, current_tracer
+from .trace import chrome_trace_from_intervals
+
+if TYPE_CHECKING:  # the runtime import is lazy: core itself imports telemetry
+    from ..core.mllog import LogEvent
+
+__all__ = ["Instrumented", "PhaseDecomposition", "RunTelemetry",
+           "decompose_log_events", "trace_from_log_events"]
+
+
+@dataclass
+class RunTelemetry:
+    """Serializable telemetry snapshot attached to a finished run."""
+
+    trace_events: list[dict[str, Any]] = field(default_factory=list)
+    metrics: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    def to_chrome_trace(self) -> dict[str, Any]:
+        return {"traceEvents": list(self.trace_events), "displayTimeUnit": "ms"}
+
+
+class Instrumented(Module):
+    """Wrap a module so its forward/backward passes emit trace spans.
+
+    The wrapper is transparent for training (parameters, modes, and state
+    flow through) but parameter names gain an ``inner.`` prefix — use it
+    for profiling sessions, not for checkpoint-compatible runs.  The
+    backward pass of the tape-based autodiff starts from a loss tensor,
+    not from the module, so the wrapper exposes :meth:`backward` to time
+    it under the same label::
+
+        model = Instrumented(MiniResNet(...), label="resnet")
+        loss = F.cross_entropy(model(x), y)
+        model.backward(loss)
+    """
+
+    def __init__(self, inner: Module, label: str | None = None):
+        super().__init__()
+        self.inner = inner
+        self._label = label or type(inner).__name__
+
+    def forward(self, *args, **kwargs):
+        with current_tracer().span(f"forward/{self._label}"):
+            out = self.inner(*args, **kwargs)
+        current_metrics().counter(f"{self._label}.forward_calls").inc()
+        return out
+
+    def backward(self, loss) -> None:
+        """Run ``loss.backward()`` inside a ``backward/<label>`` span."""
+        with current_tracer().span(f"backward/{self._label}"):
+            loss.backward()
+        current_metrics().counter(f"{self._label}.backward_calls").inc()
+
+
+@dataclass(frozen=True)
+class PhaseDecomposition:
+    """Where one run's wall-clock went, in seconds, from its log."""
+
+    init_s: float
+    model_creation_s: float
+    run_s: float
+    train_s: float  # sum of epoch intervals
+    eval_s: float  # sum of eval intervals
+    epochs: int
+    evals: int
+
+    @property
+    def other_s(self) -> float:
+        """Run time not inside an epoch or an eval (loop overhead)."""
+        return max(self.run_s - self.train_s - self.eval_s, 0.0)
+
+
+def _paired_intervals(events: Iterable["LogEvent"]) -> list[tuple[str, float, float, dict]]:
+    """Match ``*_start``/``*_stop`` events into (name, start_s, end_s, args).
+
+    Pairing is FIFO per (stem, epoch_num) so repeated epochs/evals pair
+    with their own stop even when logs interleave phases.
+    """
+    open_marks: dict[tuple[str, Any], list[LogEvent]] = {}
+    intervals: list[tuple[str, float, float, dict]] = []
+    for event in events:
+        if event.key.endswith("_start"):
+            stem = event.key[: -len("_start")]
+            open_marks.setdefault((stem, event.metadata.get("epoch_num")), []).append(event)
+        elif event.key.endswith("_stop"):
+            stem = event.key[: -len("_stop")]
+            stack = open_marks.get((stem, event.metadata.get("epoch_num")))
+            if not stack:
+                continue  # unbalanced stop; tolerate, review catches it
+            start = stack.pop(0)
+            name = stem
+            args = dict(start.metadata)
+            if "epoch_num" in args:
+                name = f"{stem} {args['epoch_num']}"
+            intervals.append((name, start.time_ms / 1000.0, event.time_ms / 1000.0, args))
+    return intervals
+
+
+def decompose_log_events(events: Iterable["LogEvent"]) -> PhaseDecomposition:
+    """Reduce a structured log to per-phase seconds."""
+    totals = {"init": 0.0, "model_creation": 0.0, "run": 0.0, "epoch": 0.0, "eval": 0.0}
+    counts = {"epoch": 0, "eval": 0}
+    for name, start_s, end_s, _ in _paired_intervals(events):
+        stem = name.split(" ")[0]
+        if stem in totals:
+            totals[stem] += end_s - start_s
+        if stem in counts:
+            counts[stem] += 1
+    return PhaseDecomposition(
+        init_s=totals["init"],
+        model_creation_s=totals["model_creation"],
+        run_s=totals["run"],
+        train_s=totals["epoch"],
+        eval_s=totals["eval"],
+        epochs=counts["epoch"],
+        evals=counts["eval"],
+    )
+
+
+def trace_from_log_events(events: Iterable["LogEvent"], pid: int = 0) -> dict[str, Any]:
+    """A Chrome trace document reconstructed from a structured log.
+
+    Interval events become nested "X" spans (the ``run`` span contains the
+    epochs and evals by timestamp containment); ``eval_accuracy`` events
+    become instant markers carrying the quality value.
+    """
+    from ..core.mllog import Keys  # lazy: core imports telemetry at load time
+
+    events = list(events)
+    doc = chrome_trace_from_intervals(_paired_intervals(events), pid=pid)
+    for event in events:
+        if event.key == Keys.EVAL_ACCURACY:
+            doc["traceEvents"].append({
+                "name": "eval_accuracy",
+                "cat": "repro",
+                "ph": "i",
+                "s": "p",
+                "ts": event.time_ms * 1000.0,
+                "pid": pid,
+                "tid": 0,
+                "args": {"value": event.value, **event.metadata},
+            })
+    return doc

@@ -1,0 +1,197 @@
+"""Trace spans with Chrome ``trace_event`` export.
+
+A :class:`Span` is one named, timed interval; a :class:`Tracer` records a
+tree of them through a context-manager API::
+
+    with tracer.span("epoch", epoch_num=3):
+        with tracer.span("forward"):
+            ...
+
+Spans nest by containment, exactly how ``chrome://tracing`` / Perfetto
+render complete ("ph": "X") events that share a thread id.  The tracer
+takes any ``clock()`` callable returning seconds — pass a
+:class:`repro.core.timing.FakeClock` for deterministic traces in tests,
+or nothing for wall time.
+
+A disabled tracer (``Tracer(enabled=False)``) records nothing and its
+``span()`` returns one shared no-op context manager, so instrumentation
+left in hot paths costs a single attribute check when telemetry is off.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = ["Span", "Tracer", "NULL_SPAN", "chrome_trace_from_intervals"]
+
+
+@dataclass
+class Span:
+    """One named, timed interval; ``end_s`` is None while the span is open."""
+
+    name: str
+    start_s: float
+    end_s: float | None = None
+    depth: int = 0
+    args: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        if self.end_s is None:
+            raise RuntimeError(f"span {self.name!r} is still open")
+        return self.end_s - self.start_s
+
+    def set(self, **args: Any) -> "Span":
+        """Attach extra args to the span (shows under Args in the viewer)."""
+        self.args.update(args)
+        return self
+
+
+class _NullSpan:
+    """Shared no-op stand-in returned by a disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+    def set(self, **args: Any) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _OpenSpan:
+    """Context manager closing one live span on exit."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, *exc) -> None:
+        if exc_type is not None:
+            self._span.args.setdefault("error", exc_type.__name__)
+        self._tracer._close(self._span)
+
+
+class Tracer:
+    """Records a tree of spans against an injectable clock.
+
+    Parameters
+    ----------
+    clock:
+        ``clock()`` -> seconds.  ``Clock`` instances from
+        :mod:`repro.core.timing` are callable and fit directly; default is
+        ``time.perf_counter``.
+    enabled:
+        When False the tracer is a no-op (the zero-overhead default used
+        by the ambient telemetry context).
+    pid:
+        Process id stamped on exported events — the runner uses the run
+        seed so multi-run traces stay separable in one file.
+    """
+
+    def __init__(self, clock=None, enabled: bool = True, pid: int = 0):
+        self.clock = clock or time.perf_counter
+        self.enabled = enabled
+        self.pid = pid
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+
+    # -- recording -----------------------------------------------------------
+    def span(self, name: str, **args: Any):
+        """Open a span as a context manager; closes (and records) on exit."""
+        if not self.enabled:
+            return NULL_SPAN
+        record = Span(name=name, start_s=float(self.clock()),
+                      depth=len(self._stack), args=dict(args))
+        self._stack.append(record)
+        self.spans.append(record)
+        return _OpenSpan(self, record)
+
+    def _close(self, span: Span) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            raise RuntimeError(f"span {span.name!r} closed out of order")
+        self._stack.pop()
+        span.end_s = float(self.clock())
+
+    def instant(self, name: str, **args: Any) -> None:
+        """Record a zero-duration marker event."""
+        if not self.enabled:
+            return
+        now = float(self.clock())
+        self.spans.append(Span(name=name, start_s=now, end_s=now,
+                               depth=len(self._stack), args=dict(args)))
+
+    @property
+    def open_spans(self) -> list[Span]:
+        return list(self._stack)
+
+    def reset(self) -> None:
+        self.spans.clear()
+        self._stack.clear()
+
+    # -- export --------------------------------------------------------------
+    def chrome_events(self, pid: int | None = None) -> list[dict[str, Any]]:
+        """The recorded spans as Chrome ``trace_event`` dicts (closed only)."""
+        pid = self.pid if pid is None else pid
+        events = []
+        for s in self.spans:
+            if s.end_s is None:
+                continue
+            events.append({
+                "name": s.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": s.start_s * 1e6,  # trace_event timestamps are in µs
+                "dur": (s.end_s - s.start_s) * 1e6,
+                "pid": pid,
+                "tid": 0,
+                "args": dict(s.args),
+            })
+        return events
+
+    def to_chrome_trace(self) -> dict[str, Any]:
+        """A complete Chrome-loadable trace document."""
+        return {"traceEvents": self.chrome_events(), "displayTimeUnit": "ms"}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_chrome_trace(), sort_keys=True)
+
+
+def chrome_trace_from_intervals(
+    intervals: Iterable[tuple[str, float, float, dict[str, Any]]],
+    pid: int = 0,
+) -> dict[str, Any]:
+    """Build a Chrome trace document from ``(name, start_s, end_s, args)``.
+
+    Used to reconstruct a viewable trace from sources that are not live
+    tracers — chiefly the paired ``*_start``/``*_stop`` events of a saved
+    §4.1 training-session log.
+    """
+    events = [
+        {
+            "name": name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": start_s * 1e6,
+            "dur": max(end_s - start_s, 0.0) * 1e6,
+            "pid": pid,
+            "tid": 0,
+            "args": dict(args),
+        }
+        for name, start_s, end_s, args in intervals
+    ]
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

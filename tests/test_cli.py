@@ -81,3 +81,62 @@ class TestCommands:
         )
         assert code == 0
         assert "reached" in text
+
+
+class TestObservabilityCommands:
+    def test_run_trace_stats_trace_file(self, tmp_path):
+        """run --trace emits a Chrome trace; stats and trace work on artifacts."""
+        import json
+
+        trace_path = tmp_path / "out.json"
+        code, text = run_cli(
+            "run", "recommendation", "--seeds", "1",
+            "--trace", str(trace_path), "--save", str(tmp_path / "subs"),
+            "--submitter", "obs-test",
+        )
+        assert code == 0
+        assert "breakdown:" in text
+        assert "trace written" in text
+
+        doc = json.loads(trace_path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert {"init", "model_creation", "epoch", "eval",
+                "train_step", "run:recommendation"} <= names
+        assert all(e["ph"] in ("X", "i") for e in doc["traceEvents"])
+
+        # stats: the per-phase decomposition table over the saved round.
+        code, text = run_cli("stats", str(tmp_path / "subs" / "obs-test"))
+        assert code == 0
+        assert "recommendation" in text
+        assert "Train" in text and "Eval" in text and "TTT" in text
+
+        # trace: reconstruct a viewable trace from a published result file.
+        result_file = next(
+            (tmp_path / "subs" / "obs-test" / "results").rglob("result_0.txt"))
+        out_file = tmp_path / "from-log.json"
+        code, text = run_cli("trace", str(result_file), "-o", str(out_file))
+        assert code == 0
+        log_doc = json.loads(out_file.read_text())
+        log_names = {e["name"] for e in log_doc["traceEvents"]}
+        assert "run" in log_names and any(n.startswith("epoch") for n in log_names)
+
+    def test_trace_on_non_log_file(self, tmp_path):
+        bogus = tmp_path / "notes.txt"
+        bogus.write_text("no structured events here\n")
+        code, text = run_cli("trace", str(bogus))
+        assert code == 1
+        assert "no :::MLLOG events" in text
+
+    def test_stats_empty_submission(self, tmp_path):
+        code, _ = run_cli(
+            "run", "recommendation", "--seeds", "1", "--save", str(tmp_path),
+            "--submitter", "empty-check",
+        )
+        assert code == 0
+        # Point stats at a directory whose results were removed.
+        import shutil
+        shutil.rmtree(tmp_path / "empty-check" / "results")
+        code, text = run_cli("stats", str(tmp_path / "empty-check"))
+        assert code == 1
+        assert "no runs" in text
