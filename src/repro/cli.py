@@ -5,6 +5,10 @@ Commands mirror how the MLPerf artifacts are used in practice:
 - ``table1`` — print the benchmark suite;
 - ``run`` — execute timed runs of a benchmark (optionally scoring them and
   saving submission artifacts);
+- ``campaign`` — run every (benchmark, seed) cell a submission needs
+  through the execution engine: parallel workers (``--jobs``), per-cell
+  retry with backoff, and a journal that makes ``--resume DIR`` skip
+  completed cells;
 - ``review`` — compliance-review a saved submission directory;
 - ``report`` — build the published per-benchmark results table from saved
   submissions;
@@ -53,6 +57,47 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace", metavar="FILE",
                      help="record trace spans and write a Chrome trace_event "
                           "JSON file (open in chrome://tracing or Perfetto)")
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run a full multi-benchmark, multi-seed campaign through the "
+             "execution engine (parallel, resumable, fault-tolerant)")
+    campaign.add_argument("benchmarks", nargs="*", metavar="BENCHMARK",
+                          help="benchmark names (default: the whole Table 1 suite)")
+    campaign.add_argument("--seeds", type=int, default=None,
+                          help="runs per benchmark (default: each benchmark's "
+                               "§3.2.2 required count; overriding below it "
+                               "makes the result unofficial)")
+    campaign.add_argument("--jobs", type=int, default=1,
+                          help="worker processes (1 = in-process sequential "
+                               "executor, the deterministic default)")
+    campaign.add_argument("--retries", type=int, default=2,
+                          help="per-cell retry cap for faulted runs")
+    campaign.add_argument("--backoff", type=float, default=0.05,
+                          help="base retry backoff in seconds (doubles per "
+                               "attempt, capped at 2s)")
+    campaign.add_argument("--timeout", type=float, default=None,
+                          help="per-job wall-clock budget in seconds "
+                               "(timeouts are terminal, not retried)")
+    campaign.add_argument("--override", action="append", default=[],
+                          metavar="KEY=VALUE",
+                          help="hyperparameter override applied to every "
+                               "selected benchmark (JSON value)")
+    campaign.add_argument("--save", metavar="DIR",
+                          help="campaign directory: journal, per-job results, "
+                               "and submission artifacts live here")
+    campaign.add_argument("--resume", metavar="DIR",
+                          help="resume a campaign from DIR's journal, running "
+                               "only the remaining (benchmark, seed) cells "
+                               "(implies --save DIR)")
+    campaign.add_argument("--submitter", default="cli-user",
+                          help="submitter name for saved artifacts")
+    campaign.add_argument("--trace", metavar="FILE",
+                          help="write one merged Chrome trace of every run "
+                               "(workers compose on pid=seed rows)")
+    campaign.add_argument("--bench", metavar="FILE",
+                          help="write campaign perf stats JSON "
+                               "(BENCH_campaign.json format)")
 
     review = sub.add_parser("review", help="compliance-review a saved submission")
     review.add_argument("submission_dir", help="submitter directory (from `run --save`)")
@@ -105,6 +150,7 @@ def _cmd_run(args, out) -> int:
         BenchmarkRunner,
         Category,
         Division,
+        RunFailure,
         Submission,
         SystemDescription,
         SystemType,
@@ -124,8 +170,15 @@ def _cmd_run(args, out) -> int:
         # One telemetry session per seed (pid=seed) so a multi-run trace
         # file keeps its runs on separate process rows in the viewer.
         telemetry = Telemetry(clock=runner.clock, pid=seed) if args.trace else None
-        result = runner.run(benchmark, seed=seed, hyperparameter_overrides=overrides,
-                            telemetry=telemetry)
+        try:
+            result = runner.run(benchmark, seed=seed,
+                                hyperparameter_overrides=overrides,
+                                telemetry=telemetry)
+        except RunFailure as failure:
+            # A crashed run is a failed session, not a CLI crash — and
+            # never a success: summarize it and exit non-zero.
+            print(failure.summary(), file=out)
+            return 1
         status = "reached" if result.reached_target else "FAILED"
         print(f"seed {seed}: {status} quality={result.quality:.4f} "
               f"epochs={result.epochs} ttt={result.time_to_train_s:.3f}s", file=out)
@@ -174,6 +227,74 @@ def _cmd_run(args, out) -> int:
         base = save_submission(submission, args.save)
         print(f"artifacts written to {base}", file=out)
     return exit_code
+
+
+def _cmd_campaign(args, out) -> int:
+    from pathlib import Path
+
+    from .core import render_campaign_summary, save_submission
+    from .exec import (
+        CampaignSpec,
+        MultiprocessExecutor,
+        RetryPolicy,
+        SequentialExecutor,
+        default_system,
+        run_campaign,
+    )
+    from .suite import REGISTRY
+
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=out)
+        return 2
+    if args.resume and args.save and args.resume != args.save:
+        print("--resume DIR already implies --save DIR; pass one of them", file=out)
+        return 2
+
+    benchmarks = tuple(args.benchmarks) if args.benchmarks else tuple(REGISTRY)
+    unknown = [b for b in benchmarks if b not in REGISTRY]
+    if unknown:
+        print(f"unknown benchmark(s): {unknown}; see `repro table1`", file=out)
+        return 2
+
+    spec = CampaignSpec(
+        benchmarks=benchmarks,
+        seeds=args.seeds,
+        overrides=_parse_overrides(args.override) or None,
+        timeout_s=args.timeout,
+    )
+    executor = (SequentialExecutor() if args.jobs == 1
+                else MultiprocessExecutor(args.jobs))
+    campaign_dir = args.resume or args.save
+
+    outcome = run_campaign(
+        spec,
+        executor=executor,
+        journal_dir=campaign_dir,
+        resume=bool(args.resume),
+        policy=RetryPolicy(max_retries=args.retries, backoff_base_s=args.backoff),
+        system=default_system(args.submitter),
+    )
+
+    for warning in outcome.plan.warnings:
+        print(f"warning: {warning}", file=out)
+    print(render_campaign_summary(outcome.summary, outcome.scores,
+                                  outcome.unscored), file=out)
+
+    if campaign_dir and outcome.submission is not None:
+        base = save_submission(outcome.submission, campaign_dir)
+        print(f"artifacts written to {base}", file=out)
+    if campaign_dir:
+        print(f"journal at {outcome.journal.path}", file=out)
+    if args.trace and outcome.telemetry is not None:
+        Path(args.trace).write_text(json.dumps(
+            outcome.telemetry.to_chrome_trace(), sort_keys=True))
+        print(f"merged trace written to {args.trace} "
+              f"({len(outcome.telemetry.trace_events)} events)", file=out)
+    if args.bench:
+        Path(args.bench).write_text(
+            json.dumps(outcome.bench_payload(), indent=2, sort_keys=True) + "\n")
+        print(f"campaign bench stats written to {args.bench}", file=out)
+    return 0 if outcome.ok else 1
 
 
 def _cmd_review(args, out) -> int:
@@ -268,6 +389,7 @@ def _cmd_simulate(_args, out) -> int:
 _COMMANDS = {
     "table1": _cmd_table1,
     "run": _cmd_run,
+    "campaign": _cmd_campaign,
     "review": _cmd_review,
     "report": _cmd_report,
     "trace": _cmd_trace,

@@ -15,7 +15,7 @@ from .timing import (
     TrainingTimer,
     WallClock,
 )
-from .runner import BenchmarkRunner, RunFailure, RunResult
+from .runner import BenchmarkRunner, RunFailure, RunResult, RunTimeout
 from .results import (
     BenchmarkScore,
     REQUIRED_RUNS_BY_AREA,
@@ -32,12 +32,14 @@ from .submission import (
 )
 from .review import ReviewReport, borrow_hyperparameters, review_submission
 from .reporting import (
+    CampaignSummary,
     PhaseRow,
     ResultsReport,
     ResultsRow,
     SummaryScoreRefused,
     build_phase_table,
     build_report,
+    render_campaign_summary,
     render_phase_table,
     summary_score,
 )
@@ -45,8 +47,10 @@ from .rcp import ReferenceConvergencePoints, check_convergence, collect_referenc
 from .versioning import SpecChange, SuiteVersion, V06_CHANGES, apply_version
 from .artifacts import (
     check_log_text,
+    load_run_result,
     load_submission,
     review_directory,
+    save_run_result,
     save_submission,
 )
 from .scaling import (
@@ -66,8 +70,10 @@ __all__ = [
     "V06_CHANGES",
     "apply_version",
     "check_log_text",
+    "load_run_result",
     "load_submission",
     "review_directory",
+    "save_run_result",
     "save_submission",
     "Keys",
     "LogEvent",
@@ -82,6 +88,7 @@ __all__ = [
     "BenchmarkRunner",
     "RunFailure",
     "RunResult",
+    "RunTimeout",
     "BenchmarkScore",
     "REQUIRED_RUNS_BY_AREA",
     "olympic_mean",
@@ -97,12 +104,14 @@ __all__ = [
     "ReviewReport",
     "borrow_hyperparameters",
     "review_submission",
+    "CampaignSummary",
     "PhaseRow",
     "ResultsReport",
     "ResultsRow",
     "SummaryScoreRefused",
     "build_phase_table",
     "build_report",
+    "render_campaign_summary",
     "render_phase_table",
     "summary_score",
     "ACCELERATOR_WEIGHTS",

@@ -29,7 +29,8 @@ from .runner import RunResult
 from .submission import Category, Division, Submission, SystemDescription, SystemType
 from .timing import TimingBreakdown
 
-__all__ = ["save_submission", "load_submission", "review_directory", "check_log_text"]
+__all__ = ["save_submission", "load_submission", "review_directory", "check_log_text",
+           "save_run_result", "load_run_result"]
 
 
 def save_submission(submission: Submission, root: str | Path) -> Path:
@@ -55,24 +56,7 @@ def save_submission(submission: Submission, root: str | Path) -> Path:
         bench_dir = base / "results" / submission.system.system_name / benchmark
         bench_dir.mkdir(parents=True, exist_ok=True)
         for i, run in enumerate(runs):
-            lines = list(run.log_lines)
-            header = json.dumps(
-                {
-                    "seed": run.seed,
-                    "hyperparameters": _scrub(run.hyperparameters),
-                    "time_to_train_s": run.time_to_train_s,
-                    "epochs": run.epochs,
-                    "quality": run.quality,
-                    "reached_target": run.reached_target,
-                    "breakdown": (
-                        asdict(run.breakdown) if run.breakdown is not None else None
-                    ),
-                },
-                sort_keys=True,
-            )
-            (bench_dir / f"result_{i}.txt").write_text(
-                f"# repro-run {header}\n" + "\n".join(lines) + "\n"
-            )
+            save_run_result(bench_dir / f"result_{i}.txt", run)
 
     code_dir = base / "code"
     code_dir.mkdir(exist_ok=True)
@@ -84,6 +68,38 @@ def save_submission(submission: Submission, root: str | Path) -> Path:
 
 def _scrub(hp: dict) -> dict:
     return {k: (list(v) if isinstance(v, tuple) else v) for k, v in hp.items()}
+
+
+def save_run_result(path: str | Path, run: RunResult) -> Path:
+    """Write one run as a ``result_*.txt``-format file (header + log lines).
+
+    This is the unit the submission layout is built from; the campaign
+    journal reuses it so per-job results stay auditable with the same
+    tooling (``repro trace``, :func:`check_log_text`) as published files.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = json.dumps(
+        {
+            "seed": run.seed,
+            "hyperparameters": _scrub(run.hyperparameters),
+            "time_to_train_s": run.time_to_train_s,
+            "epochs": run.epochs,
+            "quality": run.quality,
+            "reached_target": run.reached_target,
+            "breakdown": (
+                asdict(run.breakdown) if run.breakdown is not None else None
+            ),
+        },
+        sort_keys=True,
+    )
+    path.write_text(f"# repro-run {header}\n" + "\n".join(run.log_lines) + "\n")
+    return path
+
+
+def load_run_result(benchmark: str, path: str | Path) -> RunResult:
+    """Read one ``result_*.txt``-format file back into a :class:`RunResult`."""
+    return _parse_result_file(benchmark, Path(path))
 
 
 def load_submission(submitter_dir: str | Path) -> Submission:

@@ -23,7 +23,7 @@ from .submission import Submission, SystemType
 
 __all__ = ["ResultsRow", "ResultsReport", "build_report", "summary_score",
            "SummaryScoreRefused", "PhaseRow", "build_phase_table",
-           "render_phase_table"]
+           "render_phase_table", "CampaignSummary", "render_campaign_summary"]
 
 
 class SummaryScoreRefused(RuntimeError):
@@ -145,6 +145,66 @@ def render_phase_table(rows: list[PhaseRow]) -> str:
             f"{row.model_creation_s:>9.3f}{row.train_s:>9.3f}{row.eval_s:>9.3f}"
             f"{row.other_s:>9.3f}{row.time_to_train_s:>10.3f}{train_pct:>7.1f}%"
         )
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class CampaignSummary:
+    """What a campaign did, operationally: the execution engine's report card.
+
+    ``speedup`` is the parallel-efficiency headline — the sum of every
+    executed run's time-to-train over the campaign's wall-clock.  A
+    sequential executor sits near 1.0 (TTT excludes untimed phases, so it
+    can dip below); ``--jobs N`` should push it toward N.
+    """
+
+    benchmarks: tuple[str, ...]
+    total_cells: int
+    executed: int
+    skipped_resumed: int
+    reached: int
+    quality_misses: int
+    faults: int
+    timeouts: int
+    retries: int
+    wall_clock_s: float
+    total_ttt_s: float
+
+    @property
+    def speedup(self) -> float:
+        return self.total_ttt_s / self.wall_clock_s if self.wall_clock_s > 0 else 0.0
+
+    @property
+    def failed(self) -> int:
+        """Cells that ended without a result (faults + timeouts)."""
+        return self.faults + self.timeouts
+
+
+def render_campaign_summary(
+    summary: CampaignSummary,
+    scores: dict[str, BenchmarkScore] | None = None,
+    unscored: dict[str, str] | None = None,
+) -> str:
+    """The ``repro campaign`` closing report: job accounting plus scores."""
+    lines = [
+        f"campaign: {len(summary.benchmarks)} benchmark(s), "
+        f"{summary.total_cells} (benchmark, seed) cells",
+        f"  jobs: executed={summary.executed} resumed={summary.skipped_resumed} "
+        f"reached={summary.reached} quality_miss={summary.quality_misses} "
+        f"faults={summary.faults} timeouts={summary.timeouts} "
+        f"retries={summary.retries}",
+        f"  wall-clock {summary.wall_clock_s:.3f}s vs sum-of-TTT "
+        f"{summary.total_ttt_s:.3f}s (speedup {summary.speedup:.2f}x)",
+    ]
+    if scores:
+        lines.append("scores (olympic mean):")
+        for benchmark, score in sorted(scores.items()):
+            lines.append(
+                f"  {benchmark:<26} ttt={score.time_to_train_s:>10.3f}s "
+                f"runs={score.num_runs}"
+            )
+    for benchmark, reason in sorted((unscored or {}).items()):
+        lines.append(f"  {benchmark:<26} UNSCORED: {reason}")
     return "\n".join(lines)
 
 

@@ -26,7 +26,7 @@ from .mllog import Keys, MLLogger
 from .timing import Clock, TimingBreakdown, TrainingTimer, WallClock, \
     MODEL_CREATION_EXCLUSION_CAP_S
 
-__all__ = ["RunResult", "RunFailure", "BenchmarkRunner"]
+__all__ = ["RunResult", "RunFailure", "RunTimeout", "BenchmarkRunner"]
 
 
 @dataclass
@@ -50,6 +50,18 @@ class RunResult:
         return self.epochs if self.reached_target else None
 
 
+class RunTimeout(RuntimeError):
+    """A run exceeded its per-job deadline.
+
+    Raised cooperatively from inside the epoch loop so it travels the
+    normal failure path: the timer is aborted (every open interval closed
+    at the timeout instant) and the run surfaces as a :class:`RunFailure`
+    whose ``cause`` is this exception.  The campaign engine classifies it
+    separately from other faults — a deterministic run that timed out once
+    will time out again, so timeouts are terminal, not retried.
+    """
+
+
 class RunFailure(RuntimeError):
     """A training session raised mid-run; the partial observability record
     (log lines, finalized timing, telemetry snapshot) rides along so the
@@ -64,9 +76,25 @@ class RunFailure(RuntimeError):
         )
         self.benchmark = benchmark
         self.seed = seed
+        self.cause = cause
         self.log_lines = log_lines
         self.breakdown = breakdown
         self.telemetry = telemetry
+
+    def summary(self) -> str:
+        """Multi-line human-readable failure report (cause + phase breakdown)."""
+        lines = [
+            f"run FAILED: benchmark={self.benchmark} seed={self.seed}",
+            f"  cause: {type(self.cause).__name__}: {self.cause}",
+        ]
+        if self.breakdown is not None:
+            b = self.breakdown
+            lines.append(
+                f"  phases: init={b.init_seconds:.3f}s "
+                f"create={b.model_creation_seconds:.3f}s "
+                f"run={b.run_seconds:.3f}s (aborted={b.aborted})"
+            )
+        return "\n".join(lines)
 
 
 class BenchmarkRunner:
@@ -100,13 +128,22 @@ class BenchmarkRunner:
         hyperparameter_overrides: Mapping[str, Any] | None = None,
         max_epochs: int | None = None,
         telemetry: Telemetry | None = None,
+        deadline_s: float | None = None,
     ) -> RunResult:
-        """One full training session: data prep → init → train-to-target."""
+        """One full training session: data prep → init → train-to-target.
+
+        ``deadline_s`` is a per-run wall-clock budget (measured on this
+        runner's clock from the start of the call).  It is checked
+        cooperatively at epoch boundaries: crossing it raises
+        :class:`RunTimeout` through the normal failure path, so the timer
+        is aborted cleanly and the partial record stays auditable.
+        """
         spec = benchmark.spec
         hp = spec.resolve_hyperparameters(hyperparameter_overrides)
         logger = MLLogger(self.clock)
         timer = TrainingTimer(self.clock, self.model_creation_cap_s)
         tele = telemetry or self.telemetry or Telemetry.disabled()
+        deadline = None if deadline_s is None else self.clock.now() + float(deadline_s)
 
         # Untimed data reformatting (idempotent; usually cached).
         benchmark.prepare_data()
@@ -119,7 +156,8 @@ class BenchmarkRunner:
         with tele.activate():
             try:
                 reached, quality, history, epochs_run = self._execute(
-                    benchmark, spec, seed, hp, max_epochs, logger, timer, tele
+                    benchmark, spec, seed, hp, max_epochs, logger, timer, tele,
+                    deadline,
                 )
             except Exception as exc:
                 if timer.state not in ("stopped", "aborted"):
@@ -146,7 +184,8 @@ class BenchmarkRunner:
             telemetry=self._snapshot(tele),
         )
 
-    def _execute(self, benchmark, spec, seed, hp, max_epochs, logger, timer, tele):
+    def _execute(self, benchmark, spec, seed, hp, max_epochs, logger, timer, tele,
+                 deadline=None):
         """The §3.2.1 phase sequence, instrumented with spans and metrics."""
         tracer = tele.tracer
         metrics = tele.metrics
@@ -176,6 +215,11 @@ class BenchmarkRunner:
             history: list[float] = []
             epochs_run = 0
             for epoch in range(1, cap + 1):
+                if deadline is not None and self.clock.now() >= deadline:
+                    raise RunTimeout(
+                        f"{spec.name} (seed {seed}) exceeded its per-job "
+                        f"deadline after {epochs_run} epochs"
+                    )
                 logger.event(Keys.EPOCH_START, epoch, epoch_num=epoch)
                 epoch_t0 = self.clock.now()
                 samples_before = samples.value

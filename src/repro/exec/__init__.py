@@ -1,0 +1,51 @@
+"""The execution engine: parallel, resumable, fault-tolerant campaigns.
+
+The §3.2.2 variance-control rules make a submission ~55 independent runs
+(5 per vision benchmark, 10 for the rest).  This package turns that from
+a fragile sequential loop into a supervised *campaign*:
+
+- :mod:`repro.exec.plan` — expand a campaign spec into (benchmark, seed)
+  job cells with the required run counts;
+- :mod:`repro.exec.workers` — one picklable job function, executed by an
+  in-process sequential pool (the deterministic default) or a
+  ``multiprocessing`` worker pool, bit-identical either way;
+- :mod:`repro.exec.supervise` — retry faulted cells with reseeded RNG
+  streams and capped exponential backoff; quality misses and timeouts
+  are terminal, not faults;
+- :mod:`repro.exec.journal` — a JSON journal persisted after every job
+  completion, so ``repro campaign --resume DIR`` schedules only the
+  remaining cells;
+- :mod:`repro.exec.engine` — ties it together into a scored
+  :class:`~repro.core.submission.Submission` plus a
+  :class:`~repro.core.reporting.CampaignSummary`.
+"""
+
+from .plan import RESEED_STRIDE, CampaignPlan, CampaignSpec, JobSpec, plan_campaign
+from .journal import JOURNAL_NAME, CampaignJournal, JobRecord
+from .workers import (
+    JobOutcome,
+    MultiprocessExecutor,
+    SequentialExecutor,
+    execute_job,
+)
+from .supervise import RetryPolicy
+from .engine import CampaignOutcome, default_system, run_campaign
+
+__all__ = [
+    "CampaignJournal",
+    "CampaignOutcome",
+    "CampaignPlan",
+    "CampaignSpec",
+    "JOURNAL_NAME",
+    "JobOutcome",
+    "JobRecord",
+    "JobSpec",
+    "MultiprocessExecutor",
+    "RESEED_STRIDE",
+    "RetryPolicy",
+    "SequentialExecutor",
+    "default_system",
+    "execute_job",
+    "plan_campaign",
+    "run_campaign",
+]

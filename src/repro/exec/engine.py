@@ -1,0 +1,307 @@
+"""The campaign engine: plan → schedule → supervise → journal → score.
+
+One call, :func:`run_campaign`, owns a campaign end to end:
+
+1. **plan** — expand the :class:`~repro.exec.plan.CampaignSpec` into
+   (benchmark, seed) cells with the §3.2.2 run counts;
+2. **resume** — drop every cell the journal already holds a terminal
+   result for, reloading those runs from their ``# repro-run`` files;
+3. **schedule** — dispatch the remainder to the executor in waves,
+   journaling after every completion;
+4. **supervise** — faulted cells re-enter the next wave (reseeded RNG
+   stream, capped exponential backoff) until the retry cap; quality
+   misses and timeouts are terminal;
+5. **score** — benchmarks whose cells all reached target get the olympic
+   mean; everything is folded into a :class:`~repro.core.submission.Submission`
+   plus a :class:`~repro.core.reporting.CampaignSummary`.
+
+Every scheduler decision increments a counter in the engine's metrics
+registry (``campaign_*``), and per-run telemetry snapshots merge
+parent-side with ``pid = seed`` so one Chrome trace shows all workers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from ..core.reporting import CampaignSummary
+from ..core.results import BenchmarkScore, score_runs
+from ..core.runner import RunResult
+from ..core.submission import (
+    Category,
+    Division,
+    Submission,
+    SystemDescription,
+    SystemType,
+)
+from ..telemetry import MetricsRegistry, RunTelemetry, merged_run_telemetry
+from .journal import CampaignJournal, JobRecord
+from .plan import CampaignPlan, CampaignSpec, plan_campaign
+from .supervise import RetryPolicy
+from .workers import JobOutcome, SequentialExecutor
+
+__all__ = ["CampaignOutcome", "run_campaign", "default_system"]
+
+
+def default_system(submitter: str) -> SystemDescription:
+    """The single-host system description CLI campaigns run on."""
+    return SystemDescription(
+        submitter=submitter,
+        system_name=f"{submitter}-system",
+        system_type=SystemType.ON_PREMISE,
+        num_nodes=1,
+        processors_per_node=1,
+        processor_type="host-cpu",
+        accelerators_per_node=0,
+        accelerator_type="none",
+        host_memory_gb=8.0,
+        interconnect="none",
+    )
+
+
+@dataclass
+class CampaignOutcome:
+    """Everything a finished (or resumed-and-finished) campaign produced."""
+
+    plan: CampaignPlan
+    journal: CampaignJournal
+    summary: CampaignSummary
+    scores: dict[str, BenchmarkScore] = field(default_factory=dict)
+    unscored: dict[str, str] = field(default_factory=dict)
+    runs_by_benchmark: dict[str, list[RunResult]] = field(default_factory=dict)
+    submission: Submission | None = None
+    telemetry: RunTelemetry | None = None
+    scheduler_metrics: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when every planned cell reached the quality target."""
+        records = self.journal.jobs
+        return all(
+            (rec := records.get(f"{b}/{s}")) is not None and rec.status == "reached"
+            for (b, s) in self.plan.cells
+        )
+
+    def bench_payload(self) -> dict[str, Any]:
+        """The ``BENCH_campaign.json`` record: the perf trajectory datapoint."""
+        return {
+            "schema": "repro-campaign-bench/1",
+            "benchmarks": list(self.summary.benchmarks),
+            "total_cells": self.summary.total_cells,
+            "executed": self.summary.executed,
+            "skipped_resumed": self.summary.skipped_resumed,
+            "retries": self.summary.retries,
+            "faults": self.summary.faults,
+            "timeouts": self.summary.timeouts,
+            "quality_misses": self.summary.quality_misses,
+            "wall_clock_s": self.summary.wall_clock_s,
+            "total_ttt_s": self.summary.total_ttt_s,
+            "speedup": self.summary.speedup,
+            "jobs": {
+                key: {
+                    "status": rec.status,
+                    "attempts": rec.attempts,
+                    "time_to_train_s": rec.time_to_train_s,
+                    "epochs": rec.epochs,
+                    "quality": rec.quality,
+                }
+                for key, rec in sorted(self.journal.jobs.items())
+            },
+        }
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    *,
+    executor=None,
+    journal_dir=None,
+    resume: bool = False,
+    policy: RetryPolicy | None = None,
+    sleeper: Callable[[float], None] = time.sleep,
+    wall_clock: Callable[[], float] = time.perf_counter,
+    benchmark_specs: Mapping[str, Any] | None = None,
+    system: SystemDescription | None = None,
+) -> CampaignOutcome:
+    """Execute a campaign; see the module docstring for the pipeline.
+
+    ``executor`` defaults to the in-process :class:`SequentialExecutor`;
+    ``benchmark_specs`` defaults to the suite registry's specs.  Both are
+    injectable together so tests can drive fake benchmarks on fake clocks.
+    ``sleeper`` receives every backoff delay (inject a recorder to make
+    retry pacing assertable without real sleeps).
+    """
+    if benchmark_specs is None:
+        from ..suite import REGISTRY, create_benchmark
+
+        benchmark_specs = {name: create_benchmark(name).spec
+                           for name in REGISTRY if name in spec.benchmarks}
+    executor = executor or SequentialExecutor()
+    policy = policy or RetryPolicy()
+    metrics = MetricsRegistry()
+    started = wall_clock()
+
+    plan = plan_campaign(spec, benchmark_specs)
+    campaign_meta = {
+        "benchmarks": list(spec.benchmarks),
+        "seeds": spec.seeds,
+        "overrides": dict(spec.overrides or {}),
+        "max_epochs": spec.max_epochs,
+        "timeout_s": spec.timeout_s,
+        "executor": getattr(executor, "kind", type(executor).__name__),
+        "retry_policy": {
+            "max_retries": policy.max_retries,
+            "backoff_base_s": policy.backoff_base_s,
+            "backoff_cap_s": policy.backoff_cap_s,
+        },
+    }
+    if resume:
+        if journal_dir is None:
+            raise ValueError("resume requires a journal directory")
+        journal = CampaignJournal.load(journal_dir)
+        journal.campaign = campaign_meta
+    else:
+        journal = CampaignJournal(journal_dir, campaign=campaign_meta)
+
+    # -- resume: reload terminal cells, schedule only the remainder ----------
+    results_by_cell: dict[tuple[str, int], RunResult] = {}
+    resumed_cells = 0
+    done = journal.completed_cells() if resume else set()
+    wave = []
+    for job in plan.jobs:
+        prior = journal.load_result(*job.cell) if job.cell in done else None
+        if prior is not None:
+            results_by_cell[job.cell] = prior
+            resumed_cells += 1
+            metrics.counter("campaign_cells_resumed").inc()
+        else:
+            wave.append(job)
+
+    # -- schedule + supervise, journaling after every completion -------------
+    executed = retries = reached = quality_misses = faults = timeouts = 0
+    total_ttt = 0.0
+    backoffs_by_cell: dict[tuple[str, int], list[float]] = {}
+    outcome_telemetry: list[RunTelemetry | None] = []
+    while wave:
+        metrics.counter("campaign_jobs_scheduled").inc(len(wave))
+        next_wave: list = []
+        wave_delays: list[float] = []
+        for outcome in executor.run(wave):
+            executed += 1
+            outcome_telemetry.append(outcome.telemetry)
+            record = _record_for(outcome, backoffs_by_cell)
+            will_retry = policy.should_retry(outcome)
+            if outcome.status == "reached":
+                reached += 1
+                metrics.counter("campaign_jobs_reached").inc()
+            elif outcome.status == "quality_miss":
+                quality_misses += 1
+                metrics.counter("campaign_quality_misses").inc()
+            elif outcome.status == "timeout":
+                timeouts += 1
+                metrics.counter("campaign_timeouts").inc()
+            else:
+                metrics.counter("campaign_faults").inc()
+                if will_retry:
+                    retries += 1
+                    metrics.counter("campaign_retries").inc()
+                    retry_job = outcome.job.retry()
+                    delay = policy.delay_s(retry_job.attempt)
+                    backoffs_by_cell.setdefault(outcome.job.cell, []).append(delay)
+                    record.backoffs_s = list(backoffs_by_cell[outcome.job.cell])
+                    next_wave.append(retry_job)
+                    wave_delays.append(delay)
+                else:
+                    faults += 1
+            journal.record(record, outcome.result)
+            if outcome.result is not None:
+                results_by_cell[outcome.job.cell] = outcome.result
+                total_ttt += outcome.result.time_to_train_s
+        if wave_delays:
+            # One parallel backoff pause per wave: every retry in it has
+            # waited at least its own delay.
+            pause = max(wave_delays)
+            metrics.counter("campaign_backoff_seconds").inc(pause)
+            sleeper(pause)
+        wave = next_wave
+
+    # -- aggregate: runs, scores, submission, summary ------------------------
+    runs_by_benchmark: dict[str, list[RunResult]] = {}
+    for benchmark in spec.benchmarks:
+        runs_by_benchmark[benchmark] = [
+            results_by_cell[(benchmark, seed)]
+            for seed in plan.seeds_for(benchmark)
+            if (benchmark, seed) in results_by_cell
+        ]
+
+    scores: dict[str, BenchmarkScore] = {}
+    unscored: dict[str, str] = {}
+    submission = Submission(
+        system or default_system("campaign"), Division.CLOSED, Category.RESEARCH
+    )
+    for benchmark in spec.benchmarks:
+        planned = plan.seeds_for(benchmark)
+        runs = runs_by_benchmark[benchmark]
+        converged = [r for r in runs if r.reached_target]
+        if converged:
+            submission.add_runs(benchmark, converged)
+        missing = len(planned) - len(runs)
+        missed = len(runs) - len(converged)
+        if missing:
+            unscored[benchmark] = f"{missing} cell(s) failed without a result"
+        elif missed:
+            unscored[benchmark] = f"{missed} run(s) missed the quality target"
+        elif len(converged) < 3:
+            unscored[benchmark] = (
+                f"olympic mean needs >= 3 runs, have {len(converged)}"
+            )
+        else:
+            scores[benchmark] = score_runs(converged)
+
+    # ``total_ttt`` accumulated only over runs executed *this* invocation,
+    # so the speedup compares wall-clock against work actually paid for
+    # (resumed cells cost nothing now).
+    summary = CampaignSummary(
+        benchmarks=tuple(spec.benchmarks),
+        total_cells=len(plan.jobs),
+        executed=executed,
+        skipped_resumed=resumed_cells,
+        reached=reached,
+        quality_misses=quality_misses,
+        faults=faults,
+        timeouts=timeouts,
+        retries=retries,
+        wall_clock_s=wall_clock() - started,
+        total_ttt_s=total_ttt,
+    )
+
+    return CampaignOutcome(
+        plan=plan,
+        journal=journal,
+        summary=summary,
+        scores=scores,
+        unscored=unscored,
+        runs_by_benchmark=runs_by_benchmark,
+        submission=submission if submission.runs else None,
+        telemetry=merged_run_telemetry(outcome_telemetry),
+        scheduler_metrics=metrics.snapshot(),
+    )
+
+
+def _record_for(outcome: JobOutcome,
+                backoffs_by_cell: dict[tuple[str, int], list[float]]) -> JobRecord:
+    job = outcome.job
+    result = outcome.result
+    return JobRecord(
+        benchmark=job.benchmark,
+        seed=job.seed,
+        status=outcome.status,
+        attempts=job.attempt + 1,
+        run_seed=job.run_seed,
+        quality=None if result is None else result.quality,
+        epochs=None if result is None else result.epochs,
+        time_to_train_s=None if result is None else result.time_to_train_s,
+        error=outcome.error,
+        backoffs_s=list(backoffs_by_cell.get(job.cell, [])),
+    )

@@ -1,0 +1,147 @@
+"""The campaign journal: durable per-cell progress for resume.
+
+One JSON file (``campaign_journal.json``) under the campaign's artifacts
+directory, rewritten atomically after **every** job completion — so a
+campaign killed at any instant loses at most the in-flight jobs.  Each
+completed cell's full :class:`~repro.core.runner.RunResult` is persisted
+alongside as a ``jobs/<benchmark>/seed_<k>.txt`` file in the same
+``# repro-run`` format submission artifacts use
+(:func:`~repro.core.artifacts.save_run_result`), so a resumed campaign
+reloads prior runs with full fidelity and every per-job record stays
+auditable with the standard tooling (``repro trace``, log linting).
+
+Cell states:
+
+- ``reached`` — run completed and met the quality target (terminal);
+- ``quality_miss`` — run completed below target (terminal: deterministic
+  re-execution cannot change it, §3.2.2 treats it as a failed *result*);
+- ``fault`` — the run raised; retried up to the cap, then terminal for
+  this invocation but **rescheduled on resume** (fresh chance);
+- ``timeout`` — exceeded the per-job deadline; terminal for this
+  invocation, rescheduled on resume (the user may raise the budget).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..core.artifacts import load_run_result, save_run_result
+from ..core.runner import RunResult
+
+__all__ = ["JobRecord", "CampaignJournal", "JOURNAL_NAME"]
+
+JOURNAL_NAME = "campaign_journal.json"
+JOURNAL_VERSION = 1
+
+# Cell states that resume must not reschedule.
+_DONE = frozenset({"reached", "quality_miss"})
+
+
+@dataclass
+class JobRecord:
+    """Everything the journal knows about one (benchmark, seed) cell."""
+
+    benchmark: str
+    seed: int
+    status: str  # reached | quality_miss | fault | timeout
+    attempts: int = 1
+    run_seed: int | None = None
+    quality: float | None = None
+    epochs: int | None = None
+    time_to_train_s: float | None = None
+    error: str | None = None
+    backoffs_s: list[float] = field(default_factory=list)
+    result_file: str | None = None  # relative to the journal directory
+
+    @property
+    def key(self) -> str:
+        return f"{self.benchmark}/{self.seed}"
+
+    @property
+    def done(self) -> bool:
+        return self.status in _DONE
+
+
+class CampaignJournal:
+    """Load/record/persist campaign progress.
+
+    ``directory=None`` keeps the journal in memory only (the default for
+    unsaved campaigns); with a directory, every :meth:`record` atomically
+    rewrites the JSON file (write-temp-then-rename, so a kill mid-write
+    never corrupts the previous state).
+    """
+
+    def __init__(self, directory: str | Path | None = None,
+                 campaign: dict[str, Any] | None = None):
+        self.directory = Path(directory) if directory is not None else None
+        self.campaign = campaign or {}
+        self.jobs: dict[str, JobRecord] = {}
+
+    # -- persistence ---------------------------------------------------------
+    @property
+    def path(self) -> Path | None:
+        return None if self.directory is None else self.directory / JOURNAL_NAME
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "CampaignJournal":
+        """Read a journal back; an absent file yields an empty journal."""
+        journal = cls(directory)
+        path = journal.path
+        if not path.is_file():
+            return journal
+        doc = json.loads(path.read_text())
+        if doc.get("version") != JOURNAL_VERSION:
+            raise ValueError(
+                f"{path}: unsupported journal version {doc.get('version')!r}"
+            )
+        journal.campaign = doc.get("campaign", {})
+        for key, raw in doc.get("jobs", {}).items():
+            journal.jobs[key] = JobRecord(**raw)
+        return journal
+
+    def flush(self) -> None:
+        if self.directory is None:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "version": JOURNAL_VERSION,
+            "campaign": self.campaign,
+            "jobs": {key: asdict(rec) for key, rec in sorted(self.jobs.items())},
+        }
+        tmp = self.path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(doc, indent=2, sort_keys=True))
+        os.replace(tmp, self.path)
+
+    # -- recording -----------------------------------------------------------
+    def record(self, record: JobRecord, result: RunResult | None = None) -> None:
+        """Record one cell's latest state and persist immediately.
+
+        When a :class:`RunResult` is supplied and the journal is on disk,
+        the run is written as a ``# repro-run`` file and referenced from
+        the record, making the cell resumable with full fidelity.
+        """
+        if result is not None and self.directory is not None:
+            rel = Path("jobs") / record.benchmark / f"seed_{record.seed}.txt"
+            save_run_result(self.directory / rel, result)
+            record.result_file = str(rel)
+        self.jobs[record.key] = record
+        self.flush()
+
+    # -- resume queries ------------------------------------------------------
+    def completed_cells(self) -> set[tuple[str, int]]:
+        """Cells resume must skip (terminal results, reached or missed)."""
+        return {(r.benchmark, r.seed) for r in self.jobs.values() if r.done}
+
+    def load_result(self, benchmark: str, seed: int) -> RunResult | None:
+        """Reload a completed cell's full run from its result file."""
+        record = self.jobs.get(f"{benchmark}/{seed}")
+        if record is None or record.result_file is None or self.directory is None:
+            return None
+        path = self.directory / record.result_file
+        if not path.is_file():
+            return None
+        return load_run_result(benchmark, path)

@@ -1,0 +1,149 @@
+"""Job execution: one worker function, two pools.
+
+:func:`execute_job` is the single unit of work — build the benchmark,
+run it under the timing rules with telemetry ``pid = seed``, classify the
+outcome.  It is a module-level function over picklable dataclasses so the
+exact same code runs in-process (:class:`SequentialExecutor`, the
+deterministic default every test leans on) or in a worker process
+(:class:`MultiprocessExecutor`).
+
+Both executors yield :class:`JobOutcome` objects **as jobs finish** so the
+engine can journal after every completion; the multiprocess pool therefore
+yields in completion order, not submission order.  Outcomes carry their
+:class:`~repro.exec.plan.JobSpec`, so order never matters downstream.
+
+Results are bit-identical across executors by construction: a run's
+trajectory is a function of ``(benchmark, run_seed, hyperparameters)``
+only — worker processes share nothing, and the parent merges their
+telemetry snapshots after the fact.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from ..core.runner import BenchmarkRunner, RunFailure, RunResult, RunTimeout
+from ..core.timing import Clock
+from ..suite.base import Benchmark
+from ..telemetry import RunTelemetry, Telemetry
+from .plan import JobSpec
+
+__all__ = ["JobOutcome", "execute_job", "SequentialExecutor",
+           "MultiprocessExecutor"]
+
+BenchmarkFactory = Callable[[str], Benchmark]
+
+
+@dataclass
+class JobOutcome:
+    """What one attempt of one cell produced (picklable, process-safe)."""
+
+    job: JobSpec
+    status: str  # reached | quality_miss | fault | timeout
+    result: RunResult | None = None
+    error: str | None = None  # "ExcType: message" for fault/timeout
+    error_type: str | None = None
+    failure_telemetry: RunTelemetry | None = None
+
+    @property
+    def is_fault(self) -> bool:
+        return self.status == "fault"
+
+    @property
+    def telemetry(self) -> RunTelemetry | None:
+        if self.result is not None:
+            return self.result.telemetry
+        return self.failure_telemetry
+
+
+def execute_job(
+    job: JobSpec,
+    benchmark_factory: BenchmarkFactory | None = None,
+    clock: Clock | None = None,
+) -> JobOutcome:
+    """Run one job attempt and classify its outcome.
+
+    The default factory resolves the benchmark from the suite registry —
+    the only thing a spawned worker needs is the job spec.  Telemetry is
+    always collected with ``pid = seed`` (the cell seed, not the reseeded
+    attempt seed) so merged campaign traces keep one process row per cell.
+    """
+    if benchmark_factory is None:
+        from ..suite import create_benchmark as benchmark_factory
+
+    benchmark = benchmark_factory(job.benchmark)
+    runner = BenchmarkRunner(clock=clock)
+    telemetry = Telemetry(clock=runner.clock, pid=job.seed)
+    try:
+        result = runner.run(
+            benchmark,
+            seed=job.run_seed,
+            hyperparameter_overrides=dict(job.overrides) or None,
+            max_epochs=job.max_epochs,
+            telemetry=telemetry,
+            deadline_s=job.timeout_s,
+        )
+    except RunFailure as failure:
+        status = "timeout" if isinstance(failure.cause, RunTimeout) else "fault"
+        return JobOutcome(
+            job=job,
+            status=status,
+            error=f"{type(failure.cause).__name__}: {failure.cause}",
+            error_type=type(failure.cause).__name__,
+            failure_telemetry=failure.telemetry,
+        )
+    status = "reached" if result.reached_target else "quality_miss"
+    return JobOutcome(job=job, status=status, result=result)
+
+
+class SequentialExecutor:
+    """In-process, in-order execution — the deterministic fallback/default.
+
+    Accepts an injectable benchmark factory and clock so tests can drive
+    fake benchmarks on a fake clock; the multiprocess pool intentionally
+    cannot (its workers must build everything from the picklable spec).
+    """
+
+    kind = "sequential"
+
+    def __init__(self, benchmark_factory: BenchmarkFactory | None = None,
+                 clock: Clock | None = None):
+        self.benchmark_factory = benchmark_factory
+        self.clock = clock
+
+    def run(self, jobs: Iterable[JobSpec]) -> Iterator[JobOutcome]:
+        for job in jobs:
+            yield execute_job(job, self.benchmark_factory, self.clock)
+
+
+class MultiprocessExecutor:
+    """A ``multiprocessing``-based worker pool (spawned processes).
+
+    ``spawn`` is used on every platform: workers import the package fresh,
+    share no interpreter state with the parent, and therefore cannot leak
+    RNG or telemetry state between jobs — the property the bit-identical
+    guarantee rests on.
+    """
+
+    kind = "multiprocess"
+
+    def __init__(self, max_workers: int, mp_context: str = "spawn"):
+        if max_workers < 1:
+            raise ValueError("need at least one worker")
+        self.max_workers = max_workers
+        self.mp_context = mp_context
+
+    def run(self, jobs: Iterable[JobSpec]) -> Iterator[JobOutcome]:
+        jobs = list(jobs)
+        if not jobs:
+            return
+        ctx = multiprocessing.get_context(self.mp_context)
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(self.max_workers, len(jobs)), mp_context=ctx
+        ) as pool:
+            futures = [pool.submit(execute_job, job) for job in jobs]
+            for future in concurrent.futures.as_completed(futures):
+                yield future.result()

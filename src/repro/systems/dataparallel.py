@@ -37,9 +37,20 @@ def shard_batch(arrays: tuple[np.ndarray, ...], num_workers: int) -> list[tuple[
     """Split each array along axis 0 into ``num_workers`` near-equal shards.
 
     The global batch must be divisible by the worker count — the same
-    constraint real data-parallel launchers impose.
+    constraint real data-parallel launchers impose.  All arrays must agree
+    on the batch axis (a batch of inputs and labels of different lengths
+    is a data bug, not a sharding decision).
     """
+    if num_workers < 1:
+        raise ValueError(f"need at least one worker, got {num_workers}")
+    if not arrays:
+        raise ValueError("cannot shard an empty batch tuple")
     n = len(arrays[0])
+    mismatched = [len(a) for a in arrays if len(a) != n]
+    if mismatched:
+        raise ValueError(
+            f"batch arrays disagree on length: {n} vs {mismatched}"
+        )
     if n % num_workers != 0:
         raise ValueError(f"global batch {n} not divisible by {num_workers} workers")
     size = n // num_workers

@@ -35,6 +35,7 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     NULL_METRICS,
+    merge_snapshots,
 )
 from .context import (
     Telemetry,
@@ -48,6 +49,7 @@ from .profile import (
     PhaseDecomposition,
     RunTelemetry,
     decompose_log_events,
+    merged_run_telemetry,
     trace_from_log_events,
 )
 
@@ -70,5 +72,7 @@ __all__ = [
     "current_telemetry",
     "current_tracer",
     "decompose_log_events",
+    "merge_snapshots",
+    "merged_run_telemetry",
     "trace_from_log_events",
 ]

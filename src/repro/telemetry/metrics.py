@@ -14,9 +14,10 @@ instruments — the zero-overhead default when telemetry is not active.
 from __future__ import annotations
 
 import bisect
-from typing import Any, Sequence
+from typing import Any, Iterable, Sequence
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "NULL_METRICS"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "NULL_METRICS",
+           "merge_snapshots"]
 
 # Geometric-ish default buckets (seconds-flavored): spans µs-scale steps to
 # minute-scale epochs without per-metric tuning.
@@ -176,6 +177,37 @@ class MetricsRegistry:
         """JSON-serializable view of every instrument."""
         return {name: inst.snapshot() for name, inst in sorted(self._instruments.items())}
 
+    def merge_snapshot(self, snapshot: dict[str, dict[str, Any]]) -> None:
+        """Fold a serialized snapshot into this registry's live instruments.
+
+        Lets a parent process absorb a worker's metrics: counters add,
+        gauges take the snapshot's value, histograms pool (bucket layouts
+        must match).  A no-op on a disabled registry.
+        """
+        if not self.enabled:
+            return
+        for name, inst in snapshot.items():
+            kind = inst.get("type")
+            if kind == "counter":
+                self.counter(name).inc(inst["value"])
+            elif kind == "gauge":
+                self.gauge(name).set(inst["value"])
+            elif kind == "histogram":
+                hist = self.histogram(name, tuple(inst["buckets"]))
+                if list(hist.buckets) != list(inst["buckets"]):
+                    raise ValueError(f"histogram {name!r} has mismatched bucket layouts")
+                hist.counts = [x + y for x, y in zip(hist.counts, inst["counts"])]
+                hist.count += inst["count"]
+                hist.sum += inst["sum"]
+                if inst["min"] is not None:
+                    hist.min = min(hist.min, inst["min"])
+                if inst["max"] is not None:
+                    hist.max = max(hist.max, inst["max"])
+            elif kind == "null":
+                continue
+            else:
+                raise TypeError(f"metric {name!r}: cannot merge kind {kind!r}")
+
     def render(self) -> str:
         """Plain-text summary table (one line per instrument)."""
         if not self._instruments:
@@ -195,3 +227,51 @@ class MetricsRegistry:
 
 
 NULL_METRICS = MetricsRegistry(enabled=False)
+
+
+def _merge_instrument(name: str, a: dict[str, Any], b: dict[str, Any]) -> dict[str, Any]:
+    if a["type"] != b["type"]:
+        raise TypeError(
+            f"metric {name!r} has conflicting kinds: {a['type']} vs {b['type']}"
+        )
+    kind = a["type"]
+    if kind == "counter":
+        return {"type": "counter", "value": a["value"] + b["value"]}
+    if kind == "gauge":
+        # Gauges are last-write; across sessions "last" is ill-defined, so
+        # keep the later snapshot's value (merge order = session order).
+        return {"type": "gauge", "value": b["value"]}
+    if kind == "histogram":
+        if a["buckets"] != b["buckets"]:
+            raise ValueError(f"histogram {name!r} has mismatched bucket layouts")
+        mins = [m for m in (a["min"], b["min"]) if m is not None]
+        maxes = [m for m in (a["max"], b["max"]) if m is not None]
+        return {
+            "type": "histogram",
+            "count": a["count"] + b["count"],
+            "sum": a["sum"] + b["sum"],
+            "min": min(mins) if mins else None,
+            "max": max(maxes) if maxes else None,
+            "buckets": list(a["buckets"]),
+            "counts": [x + y for x, y in zip(a["counts"], b["counts"])],
+        }
+    raise TypeError(f"metric {name!r}: cannot merge instruments of kind {kind!r}")
+
+
+def merge_snapshots(snapshots: Iterable[dict[str, dict[str, Any]]]) -> dict[str, dict[str, Any]]:
+    """Fold per-session :meth:`MetricsRegistry.snapshot` dicts into one view.
+
+    Counters add, histograms pool (same bucket layout required), gauges
+    keep the last session's value.  The campaign engine uses this to
+    aggregate worker-process metrics parent-side.
+    """
+    merged: dict[str, dict[str, Any]] = {}
+    for snap in snapshots:
+        for name, inst in snap.items():
+            if inst.get("type") == "null":
+                continue
+            merged[name] = (
+                dict(inst) if name not in merged
+                else _merge_instrument(name, merged[name], inst)
+            )
+    return {name: merged[name] for name in sorted(merged)}

@@ -29,7 +29,7 @@ if TYPE_CHECKING:  # the runtime import is lazy: core itself imports telemetry
     from ..core.mllog import LogEvent
 
 __all__ = ["Instrumented", "PhaseDecomposition", "RunTelemetry",
-           "decompose_log_events", "trace_from_log_events"]
+           "decompose_log_events", "merged_run_telemetry", "trace_from_log_events"]
 
 
 @dataclass
@@ -41,6 +41,23 @@ class RunTelemetry:
 
     def to_chrome_trace(self) -> dict[str, Any]:
         return {"traceEvents": list(self.trace_events), "displayTimeUnit": "ms"}
+
+
+def merged_run_telemetry(snapshots: Iterable[RunTelemetry | None]) -> RunTelemetry:
+    """Compose per-run snapshots into one campaign-level view.
+
+    Trace events concatenate — each run's tracer already stamped its
+    events with ``pid = seed``, so parallel workers land on separate
+    process rows in the Chrome viewer.  Metrics merge via
+    :func:`~repro.telemetry.metrics.merge_snapshots`.
+    """
+    from .metrics import merge_snapshots
+
+    present = [s for s in snapshots if s is not None]
+    return RunTelemetry(
+        trace_events=[e for s in present for e in s.trace_events],
+        metrics=merge_snapshots(s.metrics for s in present),
+    )
 
 
 class Instrumented(Module):

@@ -1,0 +1,255 @@
+"""The campaign engine: supervision, resume, scoring — on fakes, no real time.
+
+Every test drives the in-process sequential executor with an injectable
+benchmark factory, a FakeClock, and a recording sleeper, so retry pacing
+and wall-clock accounting are assertable exactly.
+"""
+
+import pytest
+
+from repro.core.timing import FakeClock
+from repro.exec import (
+    CampaignSpec,
+    RESEED_STRIDE,
+    RetryPolicy,
+    SequentialExecutor,
+    run_campaign,
+)
+
+from ..core.fakes import FAKE_SPEC, FakeBenchmark
+
+SPECS = {"fake_benchmark": FAKE_SPEC}
+
+
+class FlakyBenchmark(FakeBenchmark):
+    """Raises on the first ``failures`` session creations, then behaves."""
+
+    def __init__(self, failures, clock=None, epoch_cost_s=1.0):
+        super().__init__(clock=clock, epoch_cost_s=epoch_cost_s)
+        self.failures = failures
+        self.calls = 0
+
+    def create_session(self, seed, hyperparameters):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise ValueError(f"injected fault #{self.calls}")
+        return super().create_session(seed, hyperparameters)
+
+
+class KillSwitchBenchmark(FakeBenchmark):
+    """Simulates the process dying mid-campaign (kill -9, not a RunFailure)."""
+
+    def __init__(self, kill_on_session, clock=None, epoch_cost_s=1.0):
+        super().__init__(clock=clock, epoch_cost_s=epoch_cost_s)
+        self.kill_on_session = kill_on_session
+        self.sessions = 0
+
+    def create_session(self, seed, hyperparameters):
+        self.sessions += 1
+        if self.sessions == self.kill_on_session:
+            raise KeyboardInterrupt("campaign killed mid-flight")
+        return super().create_session(seed, hyperparameters)
+
+
+def _campaign(benchmark, spec, *, policy=None, journal_dir=None, resume=False,
+              sleeps=None):
+    clock = benchmark.clock
+    return run_campaign(
+        spec,
+        executor=SequentialExecutor(benchmark_factory=lambda name: benchmark,
+                                    clock=clock),
+        benchmark_specs=SPECS,
+        policy=policy or RetryPolicy(),
+        journal_dir=journal_dir,
+        resume=resume,
+        sleeper=(sleeps.append if sleeps is not None else (lambda s: None)),
+        wall_clock=clock.now,
+    )
+
+
+class TestRetryPolicy:
+    def test_capped_exponential_backoff(self):
+        policy = RetryPolicy(max_retries=8, backoff_base_s=0.05, backoff_cap_s=2.0)
+        delays = [policy.delay_s(a) for a in range(1, 9)]
+        assert delays == [0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 2.0, 2.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base_s=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy().delay_s(0)
+
+
+class TestSupervision:
+    def test_fault_retried_with_backoff_and_reseeded_stream(self):
+        sleeps = []
+        bench = FakeBenchmark(clock=FakeClock())
+        flaky = FlakyBenchmark(failures=2, clock=bench.clock)
+        out = _campaign(flaky, CampaignSpec(benchmarks=("fake_benchmark",), seeds=1),
+                        policy=RetryPolicy(max_retries=3), sleeps=sleeps)
+        assert out.ok
+        assert out.summary.executed == 3          # 1 cell, 3 attempts
+        assert out.summary.retries == 2
+        assert out.summary.faults == 0            # recovered, not terminal
+        assert sleeps == [0.05, 0.1]              # capped exponential backoff
+        record = out.journal.jobs["fake_benchmark/0"]
+        assert record.status == "reached"
+        assert record.attempts == 3
+        assert record.run_seed == 0 + 2 * RESEED_STRIDE  # reseeded RNG stream
+        assert record.backoffs_s == [0.05, 0.1]
+        assert out.scheduler_metrics["campaign_retries"]["value"] == 2
+
+    def test_retries_exhausted_is_a_terminal_fault(self):
+        sleeps = []
+        flaky = FlakyBenchmark(failures=10, clock=FakeClock())
+        out = _campaign(flaky, CampaignSpec(benchmarks=("fake_benchmark",), seeds=1),
+                        policy=RetryPolicy(max_retries=2), sleeps=sleeps)
+        assert not out.ok
+        assert out.summary.executed == 3          # initial + 2 retries
+        assert out.summary.retries == 2
+        assert out.summary.faults == 1
+        record = out.journal.jobs["fake_benchmark/0"]
+        assert record.status == "fault"
+        assert "injected fault #3" in record.error
+        assert out.unscored == {
+            "fake_benchmark": "1 cell(s) failed without a result"}
+
+    def test_quality_miss_is_never_retried(self):
+        sleeps = []
+        bench = FakeBenchmark(clock=FakeClock())
+        out = _campaign(
+            bench,
+            CampaignSpec(benchmarks=("fake_benchmark",), seeds=1,
+                         overrides={"learning_speed": 0.0}, max_epochs=4),
+            policy=RetryPolicy(max_retries=5), sleeps=sleeps,
+        )
+        assert not out.ok
+        assert out.summary.executed == 1          # one attempt, no retries
+        assert out.summary.retries == 0
+        assert out.summary.quality_misses == 1
+        assert sleeps == []
+        record = out.journal.jobs["fake_benchmark/0"]
+        assert record.status == "quality_miss"
+        assert record.attempts == 1
+        assert "missed the quality target" in out.unscored["fake_benchmark"]
+
+    def test_timeout_aborts_cleanly_and_is_not_retried(self):
+        sleeps = []
+        bench = FakeBenchmark(clock=FakeClock(), epoch_cost_s=1.0)
+        out = _campaign(
+            bench,
+            CampaignSpec(benchmarks=("fake_benchmark",), seeds=1,
+                         overrides={"learning_speed": 0.0}, timeout_s=3.5),
+            policy=RetryPolicy(max_retries=5), sleeps=sleeps,
+        )
+        assert out.summary.timeouts == 1
+        assert out.summary.retries == 0
+        assert sleeps == []
+        record = out.journal.jobs["fake_benchmark/0"]
+        assert record.status == "timeout"
+        assert "RunTimeout" in record.error
+        assert out.scheduler_metrics["campaign_timeouts"]["value"] == 1
+
+
+class TestCampaignResults:
+    def test_default_seed_count_scores_with_the_322_rule(self, tmp_path):
+        bench = FakeBenchmark(clock=FakeClock())
+        out = _campaign(bench, CampaignSpec(benchmarks=("fake_benchmark",)),
+                        journal_dir=tmp_path)
+        assert out.ok
+        assert out.summary.total_cells == FAKE_SPEC.required_runs
+        assert out.scores["fake_benchmark"].num_runs == FAKE_SPEC.required_runs
+        assert out.submission is not None
+        assert len(out.submission.runs["fake_benchmark"]) == FAKE_SPEC.required_runs
+
+    def test_speedup_accounting(self):
+        bench = FakeBenchmark(clock=FakeClock(), epoch_cost_s=1.0)
+        out = _campaign(bench, CampaignSpec(benchmarks=("fake_benchmark",), seeds=3))
+        # Sequential on a shared fake clock: wall >= sum of timed regions.
+        assert out.summary.total_ttt_s > 0
+        assert out.summary.wall_clock_s >= out.summary.total_ttt_s
+        assert 0 < out.summary.speedup <= 1.0
+
+    def test_merged_telemetry_has_one_pid_row_per_cell(self):
+        bench = FakeBenchmark(clock=FakeClock())
+        out = _campaign(bench, CampaignSpec(benchmarks=("fake_benchmark",), seeds=3))
+        pids = {e["pid"] for e in out.telemetry.trace_events}
+        assert pids == {0, 1, 2}
+        # Worker metrics merged parent-side: epochs from all runs pooled.
+        assert out.telemetry.metrics["epochs"]["value"] == sum(
+            r.epochs for r in out.runs_by_benchmark["fake_benchmark"])
+
+    def test_bench_payload_shape(self):
+        bench = FakeBenchmark(clock=FakeClock())
+        out = _campaign(bench, CampaignSpec(benchmarks=("fake_benchmark",), seeds=3))
+        payload = out.bench_payload()
+        assert payload["schema"] == "repro-campaign-bench/1"
+        assert payload["total_cells"] == 3
+        assert set(payload["jobs"]) == {f"fake_benchmark/{s}" for s in range(3)}
+
+
+class TestResume:
+    def test_killed_campaign_resumes_only_remaining_cells(self, tmp_path):
+        clock = FakeClock()
+        killer = KillSwitchBenchmark(kill_on_session=3, clock=clock)
+        spec = CampaignSpec(benchmarks=("fake_benchmark",), seeds=5)
+        with pytest.raises(KeyboardInterrupt):
+            _campaign(killer, spec, journal_dir=tmp_path)
+
+        # The journal survived the kill with exactly the completed cells.
+        from repro.exec import CampaignJournal
+
+        journal = CampaignJournal.load(tmp_path)
+        assert journal.completed_cells() == {("fake_benchmark", 0),
+                                             ("fake_benchmark", 1)}
+
+        healthy = FakeBenchmark(clock=clock)
+        out = _campaign(healthy, spec, journal_dir=tmp_path, resume=True)
+        assert out.ok
+        assert out.summary.skipped_resumed == 2
+        assert out.summary.executed == 3          # only the remainder ran
+        assert out.summary.total_cells == 5
+        assert out.scheduler_metrics["campaign_cells_resumed"]["value"] == 2
+        # All five cells are now terminal in the journal.
+        assert {r.seed for r in out.journal.jobs.values()
+                if r.status == "reached"} == set(range(5))
+
+    def test_resumed_campaign_matches_uninterrupted_run(self, tmp_path):
+        spec = CampaignSpec(benchmarks=("fake_benchmark",), seeds=5)
+        clock_a = FakeClock()
+        killer = KillSwitchBenchmark(kill_on_session=4, clock=clock_a)
+        with pytest.raises(KeyboardInterrupt):
+            _campaign(killer, spec, journal_dir=tmp_path / "a")
+        resumed = _campaign(FakeBenchmark(clock=clock_a), spec,
+                            journal_dir=tmp_path / "a", resume=True)
+
+        fresh = _campaign(FakeBenchmark(clock=FakeClock()), spec,
+                          journal_dir=tmp_path / "b")
+        a = resumed.runs_by_benchmark["fake_benchmark"]
+        b = fresh.runs_by_benchmark["fake_benchmark"]
+        assert [(r.seed, r.quality, r.epochs) for r in a] == \
+               [(r.seed, r.quality, r.epochs) for r in b]
+        assert resumed.scores["fake_benchmark"].mean_epochs == \
+               fresh.scores["fake_benchmark"].mean_epochs
+
+    def test_resume_requires_a_journal_directory(self):
+        bench = FakeBenchmark(clock=FakeClock())
+        with pytest.raises(ValueError, match="journal directory"):
+            _campaign(bench, CampaignSpec(benchmarks=("fake_benchmark",), seeds=1),
+                      resume=True)
+
+    def test_resume_reschedules_faulted_cells(self, tmp_path):
+        spec = CampaignSpec(benchmarks=("fake_benchmark",), seeds=2)
+        clock = FakeClock()
+        flaky = FlakyBenchmark(failures=10, clock=clock)
+        first = _campaign(flaky, spec, journal_dir=tmp_path,
+                          policy=RetryPolicy(max_retries=1))
+        assert first.summary.faults >= 1
+
+        healthy = FakeBenchmark(clock=clock)
+        second = _campaign(healthy, spec, journal_dir=tmp_path, resume=True)
+        assert second.ok
+        assert second.summary.skipped_resumed == 0  # faults are rescheduled
+        assert second.summary.executed == 2

@@ -1,0 +1,157 @@
+"""Campaign planning and the resume journal."""
+
+import json
+
+import pytest
+
+from repro.core.timing import FakeClock
+from repro.core.runner import BenchmarkRunner
+from repro.exec import (
+    JOURNAL_NAME,
+    CampaignJournal,
+    CampaignSpec,
+    JobRecord,
+    JobSpec,
+    RESEED_STRIDE,
+    plan_campaign,
+)
+
+from ..core.fakes import FAKE_SPEC, FakeBenchmark
+
+
+class TestJobSpec:
+    def test_cell_identity_and_key(self):
+        job = JobSpec(benchmark="fake_benchmark", seed=3)
+        assert job.cell == ("fake_benchmark", 3)
+        assert job.key == "fake_benchmark/3"
+
+    def test_first_attempt_runs_under_cell_seed(self):
+        assert JobSpec(benchmark="b", seed=7).run_seed == 7
+
+    def test_retry_reseeds_rng_stream(self):
+        job = JobSpec(benchmark="b", seed=7)
+        r1 = job.retry()
+        r2 = r1.retry()
+        assert (r1.attempt, r2.attempt) == (1, 2)
+        assert r1.cell == r2.cell == job.cell  # identity survives retries
+        assert r1.run_seed == 7 + RESEED_STRIDE
+        assert r2.run_seed == 7 + 2 * RESEED_STRIDE
+        assert len({job.run_seed, r1.run_seed, r2.run_seed}) == 3
+
+
+class TestPlanning:
+    def test_default_seed_count_is_the_322_rule(self):
+        plan = plan_campaign(
+            CampaignSpec(benchmarks=("fake_benchmark",)),
+            {"fake_benchmark": FAKE_SPEC},
+        )
+        assert plan.seeds_for("fake_benchmark") == list(range(FAKE_SPEC.required_runs))
+        assert plan.required == {"fake_benchmark": 5}
+        assert plan.warnings == []
+
+    def test_explicit_seeds_below_required_warns(self):
+        plan = plan_campaign(
+            CampaignSpec(benchmarks=("fake_benchmark",), seeds=3),
+            {"fake_benchmark": FAKE_SPEC},
+        )
+        assert len(plan.jobs) == 3
+        assert len(plan.warnings) == 1
+        assert "requires 5" in plan.warnings[0]
+
+    def test_explicit_seeds_above_required_is_fine(self):
+        plan = plan_campaign(
+            CampaignSpec(benchmarks=("fake_benchmark",), seeds=8),
+            {"fake_benchmark": FAKE_SPEC},
+        )
+        assert len(plan.jobs) == 8
+        assert plan.warnings == []
+
+    def test_unknown_benchmark_is_a_planning_error(self):
+        with pytest.raises(KeyError, match="nope"):
+            plan_campaign(CampaignSpec(benchmarks=("nope",)),
+                          {"fake_benchmark": FAKE_SPEC})
+
+    def test_overrides_and_limits_reach_every_job(self):
+        plan = plan_campaign(
+            CampaignSpec(benchmarks=("fake_benchmark",), seeds=2,
+                         overrides={"base_lr": 0.5}, timeout_s=9.0),
+            {"fake_benchmark": FAKE_SPEC},
+        )
+        for job in plan.jobs:
+            assert dict(job.overrides) == {"base_lr": 0.5}
+            assert job.timeout_s == 9.0
+
+    def test_empty_campaign_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(benchmarks=())
+
+    def test_zero_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(benchmarks=("fake_benchmark",), seeds=0)
+
+
+def _run_result(seed=0):
+    clock = FakeClock()
+    runner = BenchmarkRunner(clock=clock)
+    return runner.run(FakeBenchmark(clock=clock, epoch_cost_s=1.0), seed=seed)
+
+
+class TestJournal:
+    def test_in_memory_journal_has_no_path(self):
+        journal = CampaignJournal()
+        journal.record(JobRecord(benchmark="fake_benchmark", seed=0, status="reached"))
+        assert journal.path is None
+        assert journal.jobs["fake_benchmark/0"].status == "reached"
+
+    def test_record_persists_after_every_completion(self, tmp_path):
+        journal = CampaignJournal(tmp_path, campaign={"benchmarks": ["fake_benchmark"]})
+        journal.record(JobRecord(benchmark="fake_benchmark", seed=0, status="reached"),
+                       _run_result(0))
+        on_disk = json.loads((tmp_path / JOURNAL_NAME).read_text())
+        assert on_disk["version"] == 1
+        assert "fake_benchmark/0" in on_disk["jobs"]
+        # The per-job result file uses the submission artifact format.
+        result_file = tmp_path / on_disk["jobs"]["fake_benchmark/0"]["result_file"]
+        assert result_file.read_text().startswith("# repro-run ")
+
+    def test_load_roundtrip_and_result_fidelity(self, tmp_path):
+        result = _run_result(2)
+        journal = CampaignJournal(tmp_path)
+        journal.record(
+            JobRecord(benchmark="fake_benchmark", seed=2, status="reached",
+                      quality=result.quality, epochs=result.epochs,
+                      time_to_train_s=result.time_to_train_s),
+            result,
+        )
+        loaded = CampaignJournal.load(tmp_path)
+        assert loaded.completed_cells() == {("fake_benchmark", 2)}
+        reloaded = loaded.load_result("fake_benchmark", 2)
+        assert reloaded.quality == result.quality
+        assert reloaded.epochs == result.epochs
+        assert reloaded.time_to_train_s == result.time_to_train_s
+        assert reloaded.log_lines == result.log_lines
+
+    def test_terminal_quality_miss_counts_as_done(self, tmp_path):
+        journal = CampaignJournal(tmp_path)
+        journal.record(JobRecord(benchmark="fake_benchmark", seed=0,
+                                 status="quality_miss"))
+        journal.record(JobRecord(benchmark="fake_benchmark", seed=1, status="fault"))
+        journal.record(JobRecord(benchmark="fake_benchmark", seed=2, status="timeout"))
+        # Only terminal *results* are done; faults/timeouts reschedule on resume.
+        assert journal.completed_cells() == {("fake_benchmark", 0)}
+
+    def test_loading_absent_journal_is_empty(self, tmp_path):
+        journal = CampaignJournal.load(tmp_path)
+        assert journal.jobs == {}
+        assert journal.completed_cells() == set()
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        (tmp_path / JOURNAL_NAME).write_text(json.dumps({"version": 99, "jobs": {}}))
+        with pytest.raises(ValueError, match="version"):
+            CampaignJournal.load(tmp_path)
+
+    def test_missing_result_file_yields_none(self, tmp_path):
+        journal = CampaignJournal(tmp_path)
+        journal.record(JobRecord(benchmark="fake_benchmark", seed=0, status="reached",
+                                 result_file="jobs/fake_benchmark/seed_0.txt"))
+        assert journal.load_result("fake_benchmark", 0) is None

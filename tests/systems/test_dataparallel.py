@@ -42,6 +42,33 @@ class TestShardBatch:
         with pytest.raises(ValueError, match="divisible"):
             shard_batch((x, y), 4)
 
+    def test_zero_workers_rejected(self):
+        x, y = make_batch(8)
+        with pytest.raises(ValueError, match="at least one worker"):
+            shard_batch((x, y), 0)
+
+    def test_negative_workers_rejected(self):
+        x, y = make_batch(8)
+        with pytest.raises(ValueError, match="at least one worker"):
+            shard_batch((x, y), -2)
+
+    def test_empty_batch_tuple_rejected(self):
+        with pytest.raises(ValueError, match="empty batch"):
+            shard_batch((), 2)
+
+    def test_mismatched_array_lengths_rejected(self):
+        x, _ = make_batch(16)
+        _, y = make_batch(8)
+        with pytest.raises(ValueError, match="disagree on length"):
+            shard_batch((x, y), 2)
+
+    def test_single_worker_is_identity(self):
+        x, y = make_batch(8)
+        shards = shard_batch((x, y), 1)
+        assert len(shards) == 1
+        np.testing.assert_array_equal(shards[0][0], x)
+        np.testing.assert_array_equal(shards[0][1], y)
+
 
 class TestSynchronous:
     def test_equivalent_to_single_worker(self):
@@ -146,3 +173,63 @@ class TestAsynchronous:
         with pytest.raises(ValueError):
             AsynchronousDataParallel(model, SGD(model.parameters(), lr=0.1), 2, loss_fn,
                                      rng=np.random.default_rng(0), max_staleness=-1)
+
+
+class TestAsynchronousStalenessBookkeeping:
+    """The snapshot window is the staleness bound — it must never grow past it."""
+
+    def _make(self, max_staleness, num_workers=4, seed=8):
+        model = make_model(seed)
+        return model, AsynchronousDataParallel(
+            model, SGD(model.parameters(), lr=0.1), num_workers, loss_fn,
+            rng=np.random.default_rng(0), max_staleness=max_staleness,
+        )
+
+    @pytest.mark.parametrize("max_staleness", [0, 1, 3])
+    def test_snapshot_window_bounded(self, max_staleness):
+        batch = make_batch(32)
+        _, dp = self._make(max_staleness)
+        assert dp._snapshots == []
+        for _ in range(5):
+            dp.step(batch)
+            assert len(dp._snapshots) <= max_staleness + 1
+
+    def test_snapshot_window_holds_latest_state(self):
+        """After a step the newest snapshot is the live post-update weights."""
+        batch = make_batch(32)
+        model, dp = self._make(max_staleness=2)
+        dp.step(batch)
+        live = model.state_dict()
+        newest = dp._snapshots[-1]
+        assert set(newest) == set(live)
+        for name in live:
+            np.testing.assert_array_equal(newest[name], live[name])
+
+    def test_zero_staleness_single_worker_equals_plain_sgd(self):
+        """With a window of one snapshot, 'stale' is always the live state:
+        async with one worker degenerates to plain sequential SGD."""
+        batch = make_batch(16)
+        ref_model = make_model(9)
+        ref_opt = SGD(ref_model.parameters(), lr=0.1)
+        model, dp = self._make(max_staleness=0, num_workers=1, seed=9)
+        for _ in range(5):
+            ref_model.zero_grad()
+            loss = loss_fn(ref_model, batch)
+            loss.backward()
+            ref_opt.step()
+            ref_model.zero_grad()
+            dp.step(batch)
+        for p_ref, p_async in zip(ref_model.parameters(), model.parameters()):
+            np.testing.assert_allclose(p_ref.data, p_async.data, rtol=1e-6, atol=1e-7)
+
+    def test_higher_staleness_diverges_from_fresh(self):
+        """The staleness knob is live: window size changes the trajectory."""
+        batch = make_batch(32)
+        states = []
+        for max_staleness in (0, 3):
+            model, dp = self._make(max_staleness)
+            for _ in range(4):
+                dp.step(batch)
+            states.append(np.concatenate(
+                [p.data.reshape(-1) for p in model.parameters()]))
+        assert not np.allclose(states[0], states[1])

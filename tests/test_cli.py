@@ -83,6 +83,77 @@ class TestCommands:
         assert "reached" in text
 
 
+class TestCampaignCommand:
+    def test_unknown_benchmark(self):
+        code, text = run_cli("campaign", "frobnicate")
+        assert code == 2
+        assert "unknown benchmark" in text
+
+    def test_jobs_must_be_positive(self):
+        code, text = run_cli("campaign", "recommendation", "--jobs", "0")
+        assert code == 2
+        assert "--jobs" in text
+
+    def test_resume_save_conflict(self, tmp_path):
+        code, text = run_cli("campaign", "recommendation",
+                             "--save", str(tmp_path / "a"),
+                             "--resume", str(tmp_path / "b"))
+        assert code == 2
+        assert "implies" in text
+
+    def test_campaign_save_then_resume(self, tmp_path):
+        """A full campaign, then a resume that finds nothing left to run."""
+        camp = tmp_path / "camp"
+        bench_file = tmp_path / "BENCH_campaign.json"
+        code, text = run_cli(
+            "campaign", "recommendation", "--seeds", "3",
+            "--save", str(camp), "--submitter", "cli-camp",
+            "--bench", str(bench_file),
+        )
+        assert code == 0
+        # Satellite: overriding seeds below the §3.2.2 requirement warns.
+        assert "warning:" in text and "requires 10" in text
+        assert "executed=3" in text and "resumed=0" in text
+        assert "scores (olympic mean):" in text
+        assert "artifacts written" in text
+        assert (camp / "campaign_journal.json").is_file()
+
+        import json
+        payload = json.loads(bench_file.read_text())
+        assert payload["schema"] == "repro-campaign-bench/1"
+        assert payload["total_cells"] == 3
+
+        code, text = run_cli("campaign", "recommendation", "--seeds", "3",
+                             "--resume", str(camp), "--submitter", "cli-camp")
+        assert code == 0
+        assert "executed=0" in text and "resumed=3" in text
+        # Scores are rebuilt from the journaled per-job result files.
+        assert "scores (olympic mean):" in text
+
+    def test_default_benchmarks_is_whole_suite(self):
+        """No positional args plans the full Table 1 suite (parse only)."""
+        args = build_parser().parse_args(["campaign"])
+        assert args.benchmarks == []
+        assert args.seeds is None and args.jobs == 1
+
+
+class TestRunFailureExit:
+    def test_run_failure_exits_nonzero_with_summary(self, monkeypatch):
+        """Satellite: a crashed session must not exit 0."""
+        from repro.core import runner as runner_mod
+
+        def explode(self, benchmark, *, seed=0, **kwargs):
+            raise runner_mod.RunFailure(
+                benchmark=benchmark.spec.name, seed=seed,
+                cause=ValueError("injected crash"), log_lines=[])
+
+        monkeypatch.setattr(runner_mod.BenchmarkRunner, "run", explode)
+        code, text = run_cli("run", "recommendation", "--seeds", "2")
+        assert code == 1
+        assert "run FAILED: benchmark=recommendation seed=0" in text
+        assert "cause: ValueError: injected crash" in text
+
+
 class TestObservabilityCommands:
     def test_run_trace_stats_trace_file(self, tmp_path):
         """run --trace emits a Chrome trace; stats and trace work on artifacts."""
