@@ -122,6 +122,26 @@ def build_parser() -> argparse.ArgumentParser:
     hp.add_argument("--chips", type=int, nargs="+", default=[1, 4, 16, 64])
 
     sub.add_parser("simulate", help="print the Figure 4/5 round-simulation summary")
+
+    bench = sub.add_parser(
+        "bench-kernels",
+        help="micro-benchmark the framework hot-path kernels against the "
+             "naive reference (per-kernel ns/op, arena hit rate, bit-identity)")
+    bench.add_argument("--mode", choices=["naive", "reuse", "fused"], default=None,
+                       help="kernel mode to benchmark (default: the active "
+                            "REPRO_KERNEL_MODE, normally 'fused')")
+    bench.add_argument("--smoke", action="store_true",
+                       help="fast CI variant: fewer repeats, and exit non-zero "
+                            "if any kernel diverges from the reference or the "
+                            "steady-state arena hit rate is below --min-hit-rate")
+    bench.add_argument("--min-hit-rate", type=float, default=0.9,
+                       help="smoke gate on the steady-state conv-loop arena "
+                            "hit rate (default 0.9)")
+    bench.add_argument("--repeats", type=int, default=None,
+                       help="timing repeats per kernel (default 30; 5 with --smoke)")
+    bench.add_argument("-o", "--out", metavar="FILE",
+                       default="benchmarks/reports/BENCH_kernels.json",
+                       help="report path (default %(default)s; '-' to skip writing)")
     return parser
 
 
@@ -386,6 +406,39 @@ def _cmd_simulate(_args, out) -> int:
     return 0
 
 
+def _cmd_bench_kernels(args, out) -> int:
+    from pathlib import Path
+
+    from .framework.microbench import bench_kernels, gate_failures
+
+    payload = bench_kernels(mode=args.mode, smoke=args.smoke,
+                            repeats=args.repeats)
+    print(f"kernel mode: {payload['kernel_mode']} "
+          f"(repeats={payload['repeats']}, warmup={payload['warmup']})", file=out)
+    for name, entry in payload["kernels"].items():
+        flag = "ok" if entry["bit_identical"] else "DIVERGED"
+        print(f"  {name:<20} {entry['naive_ns_per_op'] / 1e3:>10.1f}us naive  "
+              f"{entry['ns_per_op'] / 1e3:>10.1f}us {payload['kernel_mode']}  "
+              f"{entry['speedup']:>5.2f}x  [{flag}]", file=out)
+    stats = payload["arena"]
+    print(f"  arena: hit_rate={stats['hit_rate']:.3f} "
+          f"steady_state_bytes={stats['steady_state_bytes_allocated']} "
+          f"pooled_bytes={stats['pooled_bytes']}", file=out)
+
+    if args.out and args.out != "-":
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"report written to {path}", file=out)
+
+    if args.smoke:
+        failures = gate_failures(payload, min_hit_rate=args.min_hit_rate)
+        for failure in failures:
+            print(f"GATE FAILED: {failure}", file=out)
+        return 1 if failures else 0
+    return 0
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "run": _cmd_run,
@@ -396,6 +449,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "hp-table": _cmd_hp_table,
     "simulate": _cmd_simulate,
+    "bench-kernels": _cmd_bench_kernels,
 }
 
 

@@ -10,7 +10,10 @@ from .tensor import Tensor, no_grad, is_grad_enabled
 from .module import Module, ModuleList, Parameter, Sequential
 from . import functional
 from . import init
+from .config import KERNEL_MODES, kernel_mode, set_kernel_mode, use_kernel_mode
+from .workspace import Workspace, arena, record_arena_gauges
 from .conv import conv2d, conv2d_naive, conv2d_same, max_pool2d, avg_pool2d, global_avg_pool2d, im2col, col2im
+from .fused import conv2d_bias_relu, linear_bias_act
 from .layers import (
     AvgPool2d,
     BatchNorm1d,
@@ -58,9 +61,18 @@ __all__ = [
     "Sequential",
     "functional",
     "init",
+    "KERNEL_MODES",
+    "kernel_mode",
+    "set_kernel_mode",
+    "use_kernel_mode",
+    "Workspace",
+    "arena",
+    "record_arena_gauges",
     "conv2d",
     "conv2d_naive",
     "conv2d_same",
+    "conv2d_bias_relu",
+    "linear_bias_act",
     "max_pool2d",
     "avg_pool2d",
     "global_avg_pool2d",

@@ -5,13 +5,30 @@ The production path implements convolution with im2col + GEMM — the same
 libraries offer many mathematically-equivalent convolution algorithms.  A
 deliberately naive direct convolution is also provided as the gold-standard
 reference (used in tests and the im2col-vs-naive ablation bench).
+
+Every public kernel dispatches on :func:`repro.framework.config.kernel_mode`:
+
+- ``naive`` runs the original allocate-per-call implementations below;
+- ``reuse``/``fused`` run arena-backed variants that draw all scratch
+  (padded images, patch columns, GEMM outputs, gradient scratch) from the
+  per-thread :class:`~repro.framework.workspace.Workspace` and unfold
+  patches directly into the patch-major layout the GEMM wants — skipping
+  the big ``ascontiguousarray`` transpose copies of the naive path.
+
+The arena variants are **bit-identical** to ``naive``: same element values,
+same accumulation order, same dtypes (enforced by tests).  The only
+behavioural difference is that a graph produced in ``reuse``/``fused`` mode
+recycles its scratch when its backward runs, so calling ``backward()``
+twice through the same conv node is unsupported outside ``naive`` mode.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .tensor import Tensor
+from .config import kernel_mode
+from .tensor import Tensor, is_grad_enabled
+from .workspace import arena
 
 __all__ = [
     "im2col",
@@ -53,15 +70,154 @@ def col2im(
     return img[:, :, pad : pad + h, pad : pad + w]
 
 
+# ---------------------------------------------------------------------------
+# Arena-backed helpers (reuse/fused modes)
+# ---------------------------------------------------------------------------
+
+def _uniform_float_dtype(x: Tensor, weight: Tensor, bias: Tensor | None):
+    """The shared float dtype of the operands, or ``None`` when mixed.
+
+    The arena kernels add bias in place, which would silently demote a
+    mixed-precision promotion the naive path performs; mixed-dtype calls
+    therefore fall back to the reference implementation.
+    """
+    dt = x.dtype
+    if dt.kind != "f" or weight.dtype != dt:
+        return None
+    if bias is not None and bias.dtype != dt:
+        return None
+    return dt
+
+
+def _pad_into(ws, x: np.ndarray, pad: int) -> np.ndarray:
+    """Zero-padded copy of ``x`` in an arena borrow (caller releases)."""
+    n, c, h, w = x.shape
+    buf = ws.take((n, c, h + 2 * pad, w + 2 * pad), x.dtype)
+    buf[...] = 0
+    buf[:, :, pad : pad + h, pad : pad + w] = x
+    return buf
+
+
+def _unfold_patch_major(img: np.ndarray, kh: int, kw: int, stride: int,
+                        oh: int, ow: int, colT: np.ndarray) -> None:
+    """Unfold ``img`` directly into patch-major ``(N, OH, OW, C, kh, kw)``.
+
+    Flattening ``colT`` to ``(N*OH*OW, C*kh*kw)`` yields *exactly* the
+    array the naive path builds with ``ascontiguousarray(transpose(...))``
+    — same values, one pass, no transpose copy.
+    """
+    for i in range(kh):
+        for j in range(kw):
+            src = img[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride]
+            colT[:, :, :, :, i, j] = src.transpose(0, 2, 3, 1)
+
+
+def _conv2d_arena(x: Tensor, weight: Tensor, bias: Tensor | None,
+                  stride: int, pad: int, dt, relu: bool = False) -> Tensor:
+    """im2col + GEMM convolution with arena scratch and ``out=`` GEMMs.
+
+    With ``relu=True`` this is the fused conv→bias→ReLU kernel: the mask is
+    applied to the GEMM output in place and one backward closure handles
+    the whole chain (bit-identical to ``relu(conv2d(...))``).
+    """
+    ws = arena()
+    n, c = x.shape[0], x.shape[1]
+    f, _, kh, kw = weight.shape
+    h, w = x.shape[2], x.shape[3]
+    oh = (h + 2 * pad - kh) // stride + 1
+    ow = (w + 2 * pad - kw) // stride + 1
+    p = oh * ow
+    ck = c * kh * kw
+
+    if pad:
+        img = _pad_into(ws, x.data, pad)
+    else:
+        img = x.data
+    colT = ws.take((n, oh, ow, c, kh, kw), dt)
+    _unfold_patch_major(img, kh, kw, stride, oh, ow, colT)
+    if pad:
+        ws.release(img)
+
+    col_t = colT.reshape(n * p, ck)
+    w2 = weight.data.reshape(f, ck)
+    out_flat = ws.take((n * p, f), dt)
+    np.matmul(col_t, w2.T, out=out_flat)
+    if bias is not None:
+        out_flat += bias.data
+    mask = None
+    if relu:
+        mask = ws.take((n * p, f), np.bool_)
+        np.greater(out_flat, 0, out=mask)
+        out_flat *= mask
+    out = np.empty((n, f, oh, ow), dtype=dt)
+    out.reshape(n, f, p)[...] = out_flat.reshape(n, p, f).transpose(0, 2, 1)
+    ws.release(out_flat)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    if not (is_grad_enabled() and any(t.requires_grad for t in parents)):
+        ws.release(colT)
+        if mask is not None:
+            ws.release(mask)
+        return Tensor(out)
+
+    def backward(result: Tensor) -> None:
+        g2 = ws.take((n * p, f), dt)
+        g2.reshape(n, p, f)[...] = result.grad.reshape(n, f, p).transpose(0, 2, 1)
+        if mask is not None:
+            g2 *= mask
+            ws.release(mask)
+        if bias is not None:
+            bias._accumulate(g2.sum(axis=0))
+        if weight.requires_grad:
+            wg = ws.take((f, ck), dt)
+            np.matmul(g2.T, col_t, out=wg)
+            weight._accumulate(wg.reshape(weight.shape))
+            ws.release(wg)
+        if x.requires_grad:
+            dcolT = ws.take((n * p, ck), dt)
+            np.matmul(g2, w2, out=dcolT)
+            cT = dcolT.reshape(n, oh, ow, c, kh, kw)
+            # Fold channels-last (contiguous inner axis), then hand the
+            # NCHW transpose view to _accumulate — same per-element add
+            # order as col2im, one less transpose copy.
+            img_cl = ws.take((n, h + 2 * pad, w + 2 * pad, c), dt)
+            img_cl[...] = 0
+            for i in range(kh):
+                for j in range(kw):
+                    img_cl[:, i : i + stride * oh : stride,
+                           j : j + stride * ow : stride, :] += cT[:, :, :, :, i, j]
+            x._accumulate(
+                img_cl[:, pad : pad + h, pad : pad + w, :].transpose(0, 3, 1, 2))
+            ws.release(dcolT)
+            ws.release(img_cl)
+        ws.release(g2)
+        ws.release(colT)
+
+    return Tensor._make(out, parents, backward)
+
+
+# ---------------------------------------------------------------------------
+# Public kernels
+# ---------------------------------------------------------------------------
+
 def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None, stride: int = 1, pad: int = 0) -> Tensor:
     """2-D convolution (cross-correlation) via im2col + batched GEMM.
 
     ``x``: ``(N, C, H, W)``; ``weight``: ``(F, C, kh, kw)``; ``bias``: ``(F,)``.
     """
+    if x.shape[1] != weight.shape[1]:
+        raise ValueError(f"input channels {x.shape[1]} != weight channels {weight.shape[1]}")
+    if kernel_mode() != "naive":
+        dt = _uniform_float_dtype(x, weight, bias)
+        if dt is not None:
+            return _conv2d_arena(x, weight, bias, stride, pad, dt)
+    return _conv2d_reference(x, weight, bias, stride, pad)
+
+
+def _conv2d_reference(x: Tensor, weight: Tensor, bias: Tensor | None, stride: int, pad: int) -> Tensor:
+    """The allocate-per-call reference implementation (``naive`` mode)."""
     n = x.shape[0]
     f, c, kh, kw = weight.shape
-    if x.shape[1] != c:
-        raise ValueError(f"input channels {x.shape[1]} != weight channels {c}")
     oh = (x.shape[2] + 2 * pad - kh) // stride + 1
     ow = (x.shape[3] + 2 * pad - kw) // stride + 1
 
@@ -114,10 +270,15 @@ def conv2d_naive(x: Tensor, weight: Tensor, bias: Tensor | None = None, stride: 
         out += bias.data.reshape(1, f, 1, 1)
     # Reuse the im2col adjoint: the two algorithms share gradients exactly.
     parents = (x, weight) if bias is None else (x, weight, bias)
-    col = im2col(x.data, kh, kw, stride, pad)
-    w2 = weight.data.reshape(f, -1)
 
     def backward(result: Tensor) -> None:
+        # im2col/w2 are built *here*, not at forward time: under no_grad
+        # this closure is never created, so eval-mode naive conv skips the
+        # whole unfold allocation.  (Gradients therefore read x.data and
+        # weight.data as of backward time — which, in the standard
+        # forward/backward/step cycle, is when they are needed anyway.)
+        col = im2col(x.data, kh, kw, stride, pad)
+        w2 = weight.data.reshape(f, -1)
         g = result.grad.reshape(n, f, oh * ow)
         if bias is not None:
             bias._accumulate(g.sum(axis=(0, 2)))
@@ -164,23 +325,81 @@ def conv2d_same(x: Tensor, weight: Tensor, bias: Tensor | None = None, stride: i
     return conv2d(padded, weight, bias, stride=stride, pad=0)
 
 
+def _pool_unfold(ws, x: Tensor, kernel: int, stride: int, oh: int, ow: int) -> np.ndarray:
+    """Arena-backed channel-major unfold for pooling: ``(N*C, k*k, OH*OW)``."""
+    n, c, h, w = x.shape
+    x4 = x.data.reshape(n * c, h, w)
+    col = ws.take((n * c, kernel * kernel, oh * ow), x.dtype)
+    col4 = col.reshape(n * c, kernel, kernel, oh, ow)
+    for i in range(kernel):
+        for j in range(kernel):
+            col4[:, i, j] = x4[:, i : i + stride * oh : stride, j : j + stride * ow : stride]
+    return col
+
+
+def _pool_fold(ws, dcol: np.ndarray, n: int, c: int, h: int, w: int,
+               kernel: int, stride: int, oh: int, ow: int) -> np.ndarray:
+    """Arena-backed adjoint of :func:`_pool_unfold` (caller releases result)."""
+    img = ws.take((n * c, h, w), dcol.dtype)
+    img[...] = 0
+    d5 = dcol.reshape(n * c, kernel, kernel, oh, ow)
+    for i in range(kernel):
+        for j in range(kernel):
+            img[:, i : i + stride * oh : stride, j : j + stride * ow : stride] += d5[:, i, j]
+    return img
+
+
 def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
     """Max pooling with square windows."""
     stride = stride or kernel
     n, c, h, w = x.shape
     oh = (h - kernel) // stride + 1
     ow = (w - kernel) // stride + 1
+    if kernel_mode() != "naive" and x.dtype.kind == "f":
+        return _max_pool2d_arena(x, kernel, stride, oh, ow)
     col = im2col(x.data.reshape(n * c, 1, h, w), kernel, kernel, stride, 0)
     col = col.reshape(n * c, kernel * kernel, oh * ow)
     arg = col.argmax(axis=1)  # (N*C, OH*OW)
     out = np.take_along_axis(col, arg[:, None, :], axis=1).reshape(n, c, oh, ow)
 
     def backward(result: Tensor) -> None:
+        if not x.requires_grad:
+            return
         g = result.grad.reshape(n * c, 1, oh * ow)
         dcol = np.zeros_like(col)
         np.put_along_axis(dcol, arg[:, None, :], g, axis=1)
         dx = col2im(dcol, (n * c, 1, h, w), kernel, kernel, stride, 0)
         x._accumulate(dx.reshape(n, c, h, w))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def _max_pool2d_arena(x: Tensor, kernel: int, stride: int, oh: int, ow: int) -> Tensor:
+    ws = arena()
+    n, c, h, w = x.shape
+    p = oh * ow
+    kk = kernel * kernel
+    col = _pool_unfold(ws, x, kernel, stride, oh, ow)
+    arg = ws.take((n * c, p), np.intp)
+    np.argmax(col, axis=1, out=arg)
+    out = np.take_along_axis(col, arg.reshape(n * c, 1, p), axis=1).reshape(n, c, oh, ow)
+    ws.release(col)  # backward only needs the argmax indices, not the values
+
+    if not (is_grad_enabled() and x.requires_grad):
+        ws.release(arg)
+        return Tensor(out)
+
+    def backward(result: Tensor) -> None:
+        if x.requires_grad:
+            g = result.grad.reshape(n * c, 1, p)
+            dcol = ws.take((n * c, kk, p), x.dtype)
+            dcol[...] = 0
+            np.put_along_axis(dcol, arg.reshape(n * c, 1, p), g, axis=1)
+            img = _pool_fold(ws, dcol, n, c, h, w, kernel, stride, oh, ow)
+            x._accumulate(img.reshape(n, c, h, w))
+            ws.release(dcol)
+            ws.release(img)
+        ws.release(arg)
 
     return Tensor._make(out, (x,), backward)
 
@@ -191,16 +410,47 @@ def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
     n, c, h, w = x.shape
     oh = (h - kernel) // stride + 1
     ow = (w - kernel) // stride + 1
+    if kernel_mode() != "naive" and x.dtype.kind == "f":
+        return _avg_pool2d_arena(x, kernel, stride, oh, ow)
     col = im2col(x.data.reshape(n * c, 1, h, w), kernel, kernel, stride, 0)
     col = col.reshape(n * c, kernel * kernel, oh * ow)
     out = col.mean(axis=1).reshape(n, c, oh, ow)
     scale = 1.0 / (kernel * kernel)
 
     def backward(result: Tensor) -> None:
+        if not x.requires_grad:
+            return
         g = result.grad.reshape(n * c, 1, oh * ow)
         dcol = np.broadcast_to(g * scale, col.shape).astype(col.dtype)
         dx = col2im(dcol, (n * c, 1, h, w), kernel, kernel, stride, 0)
         x._accumulate(dx.reshape(n, c, h, w))
+
+    return Tensor._make(out, (x,), backward)
+
+
+def _avg_pool2d_arena(x: Tensor, kernel: int, stride: int, oh: int, ow: int) -> Tensor:
+    ws = arena()
+    n, c, h, w = x.shape
+    p = oh * ow
+    kk = kernel * kernel
+    col = _pool_unfold(ws, x, kernel, stride, oh, ow)
+    out = col.mean(axis=1).reshape(n, c, oh, ow)
+    ws.release(col)  # the average's adjoint needs only shapes
+    scale = 1.0 / kk
+
+    if not (is_grad_enabled() and x.requires_grad):
+        return Tensor(out)
+
+    def backward(result: Tensor) -> None:
+        if not x.requires_grad:
+            return
+        g = result.grad.reshape(n * c, 1, p)
+        dcol = ws.take((n * c, kk, p), x.dtype)
+        dcol[...] = g * scale
+        img = _pool_fold(ws, dcol, n, c, h, w, kernel, stride, oh, ow)
+        x._accumulate(img.reshape(n, c, h, w))
+        ws.release(dcol)
+        ws.release(img)
 
     return Tensor._make(out, (x,), backward)
 

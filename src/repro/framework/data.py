@@ -59,6 +59,23 @@ class DataLoader:
     so traversal order is reproducible per-run yet differs across epochs.
     ``augment(batch_arrays, rng) -> batch_arrays`` runs inside iteration —
     i.e. inside the timed region, as §3.2.1 requires.
+
+    **Epoch semantics.** ``self.epoch`` advances only after a *complete*
+    pass; abandoning an iterator early (``break``, ``next()`` probing) does
+    not burn an epoch seed, so the next full traversal replays the same
+    order.  Use :meth:`set_epoch` to position the schedule explicitly
+    (e.g. when resuming a run).
+
+    **Fast paths** (active unless ``REPRO_KERNEL_MODE=naive``):
+
+    - with ``shuffle=False`` and no augmentation over an
+      :class:`ArrayDataset`, batches are contiguous zero-copy slices of the
+      underlying arrays — treat them as read-only;
+    - with ``reuse_buffers=True``, full-size batches are gathered into
+      preallocated per-loader buffers instead of fresh fancy-index copies.
+      Each yielded batch is then only valid until the next iteration, so
+      callers must consume batches immediately (as ``run_epoch`` loops do)
+      and must not hold references across steps, e.g. ``list(loader)``.
     """
 
     def __init__(
@@ -70,6 +87,7 @@ class DataLoader:
         seed: int = 0,
         drop_last: bool = False,
         augment: Callable[..., tuple] | None = None,
+        reuse_buffers: bool = False,
     ):
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
@@ -79,7 +97,9 @@ class DataLoader:
         self.seed = int(seed)
         self.drop_last = drop_last
         self.augment = augment
+        self.reuse_buffers = reuse_buffers
         self.epoch = 0
+        self._batch_bufs: tuple[np.ndarray, ...] | None = None
 
     def __len__(self) -> int:
         n = len(self.dataset)
@@ -87,20 +107,60 @@ class DataLoader:
             return n // self.batch_size
         return (n + self.batch_size - 1) // self.batch_size
 
+    def set_epoch(self, epoch: int) -> None:
+        """Position the shuffle schedule: the next pass uses this epoch's seed."""
+        self.epoch = int(epoch)
+
+    def _fast_mode(self) -> bool:
+        from .config import kernel_mode
+
+        return kernel_mode() != "naive"
+
+    def _gather(self, idx: np.ndarray) -> tuple:
+        """Assemble one batch, reusing per-loader buffers when enabled."""
+        if (
+            self.reuse_buffers
+            and isinstance(self.dataset, ArrayDataset)
+            and len(idx) == self.batch_size
+            and self._fast_mode()
+        ):
+            if self._batch_bufs is None:
+                self._batch_bufs = tuple(
+                    np.empty((self.batch_size,) + a.shape[1:], dtype=a.dtype)
+                    for a in self.dataset.arrays
+                )
+            for a, buf in zip(self.dataset.arrays, self._batch_bufs):
+                np.take(a, idx, axis=0, out=buf)
+            return self._batch_bufs
+        batch = self.dataset[idx]
+        return batch if isinstance(batch, tuple) else (batch,)
+
     def __iter__(self) -> Iterator[tuple]:
         n = len(self.dataset)
         rng = np.random.default_rng((self.seed, self.epoch))
-        order = rng.permutation(n) if self.shuffle else np.arange(n)
-        self.epoch += 1
+        # Sequential unaugmented traversal of plain arrays needs no index
+        # gather at all: contiguous slices are zero-copy views.
+        zero_copy = (
+            not self.shuffle
+            and self.augment is None
+            and isinstance(self.dataset, ArrayDataset)
+            and self._fast_mode()
+        )
+        order = rng.permutation(n) if self.shuffle else None
         for start in range(0, n, self.batch_size):
-            idx = order[start : start + self.batch_size]
-            if self.drop_last and len(idx) < self.batch_size:
+            stop = min(start + self.batch_size, n)
+            if self.drop_last and stop - start < self.batch_size:
                 break
-            batch = self.dataset[idx]
-            if not isinstance(batch, tuple):
-                batch = (batch,)
+            if zero_copy:
+                batch = tuple(a[start:stop] for a in self.dataset.arrays)
+            else:
+                idx = order[start:stop] if order is not None else np.arange(start, stop)
+                batch = self._gather(idx)
             if self.augment is not None:
                 batch = self.augment(*batch, rng=rng)
                 if not isinstance(batch, tuple):
                     batch = (batch,)
             yield batch if len(batch) > 1 else batch[0]
+        # Reached only on a completed pass: an abandoned iterator does not
+        # advance the schedule (see class docstring).
+        self.epoch += 1

@@ -1,0 +1,105 @@
+"""Fused kernels: several autograd nodes collapsed into one.
+
+§2.2.4's point that math libraries win by picking equivalent-but-faster
+algorithms applies to graph shape too: ``conv → bias → relu`` as three
+``Tensor`` nodes materializes two extra full activations and walks three
+closures backward.  The kernels here compute the same values (bit-identical
+— enforced by tests) in one node, with scratch drawn from the workspace
+arena and element masks applied in place.
+
+Fusion only engages in ``fused`` kernel mode (see
+:mod:`repro.framework.config`); in ``naive``/``reuse`` modes these
+functions run the equivalent composition of primitives, so call sites can
+use them unconditionally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .config import kernel_mode
+from .conv import _conv2d_arena, _uniform_float_dtype, conv2d
+from .tensor import Tensor, _unbroadcast, is_grad_enabled
+from .workspace import arena
+
+__all__ = ["conv2d_bias_relu", "linear_bias_act"]
+
+_ACTS = ("none", "relu")
+
+
+def conv2d_bias_relu(x: Tensor, weight: Tensor, bias: Tensor | None = None,
+                     stride: int = 1, pad: int = 0) -> Tensor:
+    """Fused ``relu(conv2d(x, w, b))`` — one graph node, in-place mask.
+
+    Bit-identical to the composition in every mode; the fused single-node
+    kernel runs only in ``fused`` mode (with uniform float dtypes).
+    """
+    if x.shape[1] != weight.shape[1]:
+        raise ValueError(f"input channels {x.shape[1]} != weight channels {weight.shape[1]}")
+    if kernel_mode() == "fused":
+        dt = _uniform_float_dtype(x, weight, bias)
+        if dt is not None:
+            return _conv2d_arena(x, weight, bias, stride, pad, dt, relu=True)
+    return conv2d(x, weight, bias, stride=stride, pad=pad).relu()
+
+
+def linear_bias_act(x: Tensor, weight: Tensor, bias: Tensor | None = None,
+                    act: str = "none") -> Tensor:
+    """Fused affine map ``act(x @ W.T + b)`` (``act``: ``none`` | ``relu``).
+
+    One autograd node instead of up to three; the bias add and the ReLU
+    mask are applied in place on the GEMM output, so no intermediate
+    activations are materialized.  Bit-identical to the composition.
+    """
+    if act not in _ACTS:
+        raise ValueError(f"act must be one of {_ACTS}, got {act!r}")
+    if kernel_mode() == "fused" and x.ndim >= 2:
+        dt = _uniform_float_dtype(x, weight, bias)
+        if dt is not None:
+            return _linear_fused(x, weight, bias, act, dt)
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out.relu() if act == "relu" else out
+
+
+def _linear_fused(x: Tensor, weight: Tensor, bias: Tensor | None, act: str, dt) -> Tensor:
+    ws = arena()
+    wd = weight.data
+    y = np.matmul(x.data, wd.T)  # escapes as the result tensor's data
+    if bias is not None:
+        y += bias.data
+    mask = None
+    if act == "relu":
+        mask = ws.take(y.shape, np.bool_)
+        np.greater(y, 0, out=mask)
+        y *= mask
+
+    parents = [x, weight] + ([bias] if bias is not None else [])
+    if not (is_grad_enabled() and any(t.requires_grad for t in parents)):
+        if mask is not None:
+            ws.release(mask)
+        return Tensor(y)
+
+    def backward(result: Tensor) -> None:
+        g = result.grad
+        gm = None
+        if mask is not None:
+            gm = ws.take(g.shape, g.dtype)
+            np.multiply(g, mask, out=gm)
+            g = gm
+            ws.release(mask)
+        if bias is not None:
+            bias._accumulate(_unbroadcast(g, bias.shape))
+        if weight.requires_grad:
+            # Mirror the unfused graph exactly: the matmul node's adjoint
+            # for W.T, un-broadcast over batch dims, then the transpose
+            # node's adjoint back to W's layout.
+            gw_t = _unbroadcast(np.swapaxes(x.data, -1, -2) @ g, (wd.shape[1], wd.shape[0]))
+            weight._accumulate(gw_t.transpose(1, 0))
+        if x.requires_grad:
+            x._accumulate(_unbroadcast(g @ wd, x.shape))
+        if gm is not None:
+            ws.release(gm)
+
+    return Tensor._make(y, parents, backward)

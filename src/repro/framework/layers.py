@@ -13,8 +13,17 @@ import numpy as np
 from . import init
 from .conv import avg_pool2d, conv2d, global_avg_pool2d, max_pool2d
 from .functional import dropout
+from .fused import conv2d_bias_relu, linear_bias_act
 from .module import Module, Parameter
 from .tensor import Tensor
+
+_LAYER_ACTS = ("none", "relu")
+
+
+def _validated_act(activation: str) -> str:
+    if activation not in _LAYER_ACTS:
+        raise ValueError(f"activation must be one of {_LAYER_ACTS}, got {activation!r}")
+    return activation
 
 __all__ = [
     "Linear",
@@ -33,36 +42,44 @@ __all__ = [
 
 
 class Linear(Module):
-    """Affine map ``y = x W^T + b``."""
+    """Affine map ``y = act(x W^T + b)``.
+
+    ``activation="relu"`` folds the nonlinearity into the layer so the
+    ``fused`` kernel mode can run the whole map as one graph node
+    (bit-identical to the unfused composition in every mode).
+    """
 
     def __init__(self, in_features: int, out_features: int, rng: np.random.Generator, bias: bool = True,
-                 init_fn=init.kaiming_uniform):
+                 init_fn=init.kaiming_uniform, activation: str = "none"):
         super().__init__()
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(init_fn((out_features, in_features), rng))
         self.bias = Parameter(init.zeros(out_features)) if bias else None
+        self.activation = _validated_act(activation)
 
     def forward(self, x: Tensor) -> Tensor:
-        out = x @ self.weight.T
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+        return linear_bias_act(x, self.weight, self.bias, act=self.activation)
 
 
 class Conv2d(Module):
     """2-D convolution layer (square kernels)."""
 
     def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
-                 rng: np.random.Generator, stride: int = 1, padding: int = 0, bias: bool = True):
+                 rng: np.random.Generator, stride: int = 1, padding: int = 0, bias: bool = True,
+                 activation: str = "none"):
         super().__init__()
         self.stride = stride
         self.padding = padding
         shape = (out_channels, in_channels, kernel_size, kernel_size)
         self.weight = Parameter(init.kaiming_normal(shape, rng))
         self.bias = Parameter(init.zeros(out_channels)) if bias else None
+        self.activation = _validated_act(activation)
 
     def forward(self, x: Tensor) -> Tensor:
+        if self.activation == "relu":
+            return conv2d_bias_relu(x, self.weight, self.bias,
+                                    stride=self.stride, pad=self.padding)
         return conv2d(x, self.weight, self.bias, stride=self.stride, pad=self.padding)
 
 

@@ -1,0 +1,261 @@
+"""Micro-benchmarks for the framework hot path (``repro bench-kernels``).
+
+DAWNBench-style timing breakdowns argue that end-to-end numbers need
+per-kernel decompositions to be actionable; this module times the kernels
+the §3.2.1 timed region actually spends its wall clock in — conv2d
+forward+backward, the fused linear, pooling, the SGD update, and one
+``DataLoader`` epoch — under the active kernel mode *and* under ``naive``,
+so every report carries its own baseline.
+
+Each benchmark is a closure that runs one full forward+backward (or one
+optimizer step / one epoch); timing takes the *minimum* over repeats after
+a warmup, the standard micro-bench estimator for the noise-free cost.
+Arena statistics are reset after warmup, so the reported hit rate and
+bytes-allocated are steady-state numbers: a healthy arena shows a hit rate
+near 1.0 and zero steady-state allocation.
+
+The same closures double as the bit-identity oracle: ``--smoke`` (used in
+CI) re-runs every kernel in ``naive`` vs the active mode and fails if any
+output or gradient differs by even one bit, or if the steady-state conv
+hit rate drops below 90%.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+import numpy as np
+
+from .config import kernel_mode, use_kernel_mode
+from .conv import avg_pool2d, max_pool2d
+from .data import ArrayDataset, DataLoader
+from .fused import conv2d_bias_relu, linear_bias_act
+from .module import Parameter
+from .optim import SGD
+from .tensor import Tensor
+from .workspace import arena
+
+__all__ = ["bench_kernels", "gate_failures", "BENCH_SCHEMA"]
+
+BENCH_SCHEMA = "repro.bench_kernels.v1"
+
+# A "step" returns the arrays that must be bit-identical across modes.
+StepFn = Callable[[], tuple[np.ndarray, ...]]
+
+
+def _time_ns(step: StepFn, repeats: int, warmup: int) -> float:
+    for _ in range(warmup):
+        step()
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter_ns()
+        step()
+        t1 = time.perf_counter_ns()
+        best = min(best, float(t1 - t0))
+    return best
+
+
+def _conv_step(rng: np.random.Generator) -> StepFn:
+    x0 = rng.standard_normal((8, 8, 16, 16)).astype(np.float32)
+    w0 = (rng.standard_normal((16, 8, 3, 3)) * 0.1).astype(np.float32)
+    b0 = rng.standard_normal(16).astype(np.float32)
+    g0: np.ndarray | None = None
+
+    def step() -> tuple[np.ndarray, ...]:
+        nonlocal g0
+        x = Tensor(x0, requires_grad=True)
+        w = Parameter(w0)
+        b = Parameter(b0)
+        out = conv2d_bias_relu(x, w, b, stride=1, pad=1)
+        if g0 is None:
+            g0 = rng.standard_normal(out.shape).astype(np.float32)
+        out.backward(g0)
+        return out.data, x.grad, w.grad, b.grad
+
+    return step
+
+
+def _linear_step(rng: np.random.Generator) -> StepFn:
+    x0 = rng.standard_normal((128, 256)).astype(np.float32)
+    w0 = (rng.standard_normal((256, 256)) * 0.05).astype(np.float32)
+    b0 = rng.standard_normal(256).astype(np.float32)
+    g0 = rng.standard_normal((128, 256)).astype(np.float32)
+
+    def step() -> tuple[np.ndarray, ...]:
+        x = Tensor(x0, requires_grad=True)
+        w = Parameter(w0)
+        b = Parameter(b0)
+        out = linear_bias_act(x, w, b, act="relu")
+        out.backward(g0)
+        return out.data, x.grad, w.grad, b.grad
+
+    return step
+
+
+def _pool_step(rng: np.random.Generator) -> StepFn:
+    x0 = rng.standard_normal((8, 16, 16, 16)).astype(np.float32)
+    g_max = rng.standard_normal((8, 16, 8, 8)).astype(np.float32)
+    g_avg = rng.standard_normal((8, 16, 8, 8)).astype(np.float32)
+
+    def step() -> tuple[np.ndarray, ...]:
+        x = Tensor(x0, requires_grad=True)
+        mx = max_pool2d(x, 2)
+        mx.backward(g_max)
+        y = Tensor(x0, requires_grad=True)
+        av = avg_pool2d(y, 2)
+        av.backward(g_avg)
+        return mx.data, x.grad, av.data, y.grad
+
+    return step
+
+
+def _sgd_step(rng: np.random.Generator) -> StepFn:
+    """K momentum+weight-decay updates from a fixed start (state is local
+    to each call, so repeated timing samples are identical work)."""
+    p0 = rng.standard_normal((256, 256)).astype(np.float32)
+    g0 = (rng.standard_normal((256, 256)) * 0.01).astype(np.float32)
+
+    def step() -> tuple[np.ndarray, ...]:
+        p = Parameter(p0.copy())
+        opt = SGD([p], lr=0.1, momentum=0.9, weight_decay=1e-4)
+        for _ in range(5):
+            p.grad = g0.copy()
+            opt.step()
+        return (p.data,)
+
+    return step
+
+
+def _loader_step(rng: np.random.Generator) -> StepFn:
+    images = rng.standard_normal((512, 3, 8, 8)).astype(np.float32)
+    labels = rng.integers(0, 10, size=512).astype(np.int64)
+    dataset = ArrayDataset(images, labels)
+
+    def step() -> tuple[np.ndarray, ...]:
+        loader = DataLoader(dataset, 64, shuffle=True, seed=7, drop_last=True,
+                            reuse_buffers=True)
+        checksum = np.zeros(3, dtype=np.float64)
+        count = 0
+        for xb, yb in loader:
+            checksum += xb.sum(axis=(0, 2, 3), dtype=np.float64)
+            count += len(yb)
+        return checksum, np.array([count])
+
+    return step
+
+
+_KERNELS: dict[str, Callable[[np.random.Generator], StepFn]] = {
+    "conv2d_fwd_bwd": _conv_step,
+    "linear_fwd_bwd": _linear_step,
+    "pool2d_fwd_bwd": _pool_step,
+    "sgd_momentum_step": _sgd_step,
+    "dataloader_epoch": _loader_step,
+}
+
+
+def _bit_identical(a: tuple[np.ndarray, ...], b: tuple[np.ndarray, ...]) -> bool:
+    return len(a) == len(b) and all(
+        x.shape == y.shape and x.dtype == y.dtype and np.array_equal(x, y)
+        for x, y in zip(a, b)
+    )
+
+
+def bench_kernels(mode: str | None = None, *, smoke: bool = False,
+                  repeats: int | None = None, warmup: int | None = None,
+                  seed: int = 0) -> dict[str, Any]:
+    """Run every kernel micro-benchmark; return the BENCH_kernels payload.
+
+    ``mode`` defaults to the active kernel mode.  Each kernel is timed
+    under ``naive`` (the baseline) and under ``mode``, and checked for
+    bit-identical outputs/gradients between the two.  Steady-state arena
+    stats come from the conv loop with counters reset after warmup.
+    """
+    mode = mode or kernel_mode()
+    if repeats is None:
+        repeats = 5 if smoke else 30
+    if warmup is None:
+        warmup = 2 if smoke else 5
+
+    kernels: dict[str, Any] = {}
+    for name, factory in _KERNELS.items():
+        rng = np.random.default_rng(seed)
+        step = factory(rng)
+
+        with use_kernel_mode("naive"):
+            reference = step()
+            naive_ns = _time_ns(step, repeats, warmup)
+
+        with use_kernel_mode(mode):
+            candidate = step()
+            identical = _bit_identical(reference, candidate)
+            ws = arena()
+            is_conv = name == "conv2d_fwd_bwd"
+            if is_conv:
+                for _ in range(warmup):
+                    step()
+                ws.reset_stats()  # steady state: the pool is warm
+            current_ns = _time_ns(step, repeats, 0 if is_conv else warmup)
+            conv_arena = ws.stats() if is_conv else None
+
+        entry: dict[str, Any] = {
+            "naive_ns_per_op": naive_ns,
+            "ns_per_op": current_ns,
+            "speedup": naive_ns / current_ns if current_ns else float("inf"),
+            "bit_identical": identical,
+        }
+        if conv_arena is not None:
+            entry["arena"] = conv_arena
+        kernels[name] = entry
+
+    conv_stats = kernels["conv2d_fwd_bwd"]["arena"]
+    payload: dict[str, Any] = {
+        "schema": BENCH_SCHEMA,
+        "kernel_mode": mode,
+        "smoke": smoke,
+        "repeats": repeats,
+        "warmup": warmup,
+        "kernels": kernels,
+        "arena": {
+            "hit_rate": conv_stats["hit_rate"],
+            "hits": conv_stats["hits"],
+            "misses": conv_stats["misses"],
+            "steady_state_bytes_allocated": conv_stats["bytes_allocated"],
+            "pooled_bytes": conv_stats["pooled_bytes"],
+            "live_borrows": conv_stats["live"],
+        },
+        "checks": {
+            "bit_identical": all(k["bit_identical"] for k in kernels.values()),
+            "conv_speedup": kernels["conv2d_fwd_bwd"]["speedup"],
+        },
+    }
+    return payload
+
+
+def gate_failures(payload: dict[str, Any], *, min_hit_rate: float = 0.9,
+                  min_conv_speedup: float | None = None) -> list[str]:
+    """CI gates over a bench payload; returns human-readable failures.
+
+    The smoke job enforces bit-identity and the steady-state arena hit
+    rate; ``min_conv_speedup`` is optional because wall-clock ratios are
+    machine-dependent in a way correctness checks are not.
+    """
+    failures = []
+    for name, entry in payload["kernels"].items():
+        if not entry["bit_identical"]:
+            failures.append(
+                f"{name}: {payload['kernel_mode']} mode diverges from the naive reference"
+            )
+    hit_rate = payload["arena"]["hit_rate"]
+    if hit_rate < min_hit_rate:
+        failures.append(
+            f"steady-state arena hit rate {hit_rate:.3f} < {min_hit_rate:.2f} "
+            "on the conv loop"
+        )
+    if min_conv_speedup is not None:
+        speedup = payload["checks"]["conv_speedup"]
+        if speedup < min_conv_speedup:
+            failures.append(
+                f"conv2d fwd+bwd speedup {speedup:.2f}x < {min_conv_speedup:.2f}x"
+            )
+    return failures

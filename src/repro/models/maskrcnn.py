@@ -43,35 +43,36 @@ class MiniMaskRCNN(Module):
         self.image_size = image_size
         self.proposals_per_image = proposals_per_image
         # Backbone (stride 4), shared by both stages.
-        self.stem = Conv2d(in_channels, width // 2, 3, rng, stride=1, padding=1)
+        self.stem = Conv2d(in_channels, width // 2, 3, rng, stride=1, padding=1,
+                           activation="relu")
         self.block1 = BasicBlockV15(width // 2, width, stride=2, rng=rng)
         self.block2 = BasicBlockV15(width, width, stride=2, rng=rng)
         self.stride = 4
         feature_size = image_size // self.stride
         self.anchors = AnchorGrid(image_size, feature_size, scales=(10.0,))
         # Stage 1: proposal head.
-        self.rpn_conv = Conv2d(width, width, 3, rng, padding=1)
+        self.rpn_conv = Conv2d(width, width, 3, rng, padding=1, activation="relu")
         self.rpn_obj = Conv2d(width, 1, 1, rng)
         self.rpn_box = Conv2d(width, 4, 1, rng)
         # Stage 2: box head.
         roi_feat = width * self.ROI_SIZE * self.ROI_SIZE
-        self.box_fc = Linear(roi_feat, 64, rng)
+        self.box_fc = Linear(roi_feat, 64, rng, activation="relu")
         self.cls_out = Linear(64, num_classes + 1, rng)
         self.box_out = Linear(64, 4, rng)
         # Stage 2: mask head (conv, then 2x nearest upsample, then 1x1).
-        self.mask_conv1 = Conv2d(width, width, 3, rng, padding=1)
-        self.mask_conv2 = Conv2d(width, width, 3, rng, padding=1)
+        self.mask_conv1 = Conv2d(width, width, 3, rng, padding=1, activation="relu")
+        self.mask_conv2 = Conv2d(width, width, 3, rng, padding=1, activation="relu")
         self.mask_out = Conv2d(width, 1, 1, rng)
 
     # -- shared pieces ------------------------------------------------------
     def backbone(self, images: Tensor) -> Tensor:
-        feat = self.stem(images).relu()
+        feat = self.stem(images)
         feat = self.block1(feat)
         return self.block2(feat)
 
     def rpn(self, feat: Tensor) -> tuple[Tensor, Tensor]:
         """Return per-anchor objectness logits ``(N, A)`` and deltas ``(N, A, 4)``."""
-        h = self.rpn_conv(feat).relu()
+        h = self.rpn_conv(feat)
         n = feat.shape[0]
         obj = self.rpn_obj(h).reshape(n, -1)
         box = self.rpn_box(h).reshape(n, 4, -1).transpose(0, 2, 1)
@@ -100,14 +101,14 @@ class MiniMaskRCNN(Module):
         return x[:, :, rows][:, :, :, cols]
 
     def mask_head(self, roi_feats: Tensor) -> Tensor:
-        h = self.mask_conv1(roi_feats).relu()
-        h = self.mask_conv2(h).relu()
+        h = self.mask_conv1(roi_feats)
+        h = self.mask_conv2(h)
         h = self._upsample2x(h)
         return self.mask_out(h)[:, 0]  # (K, 2*ROI, 2*ROI) logits
 
     def box_head(self, roi_feats: Tensor) -> tuple[Tensor, Tensor]:
         flat = roi_feats.reshape(roi_feats.shape[0], -1)
-        h = self.box_fc(flat).relu()
+        h = self.box_fc(flat)
         return self.cls_out(h), self.box_out(h)
 
     # -- training ---------------------------------------------------------------

@@ -32,7 +32,7 @@ class NCF(Module):
         layers = []
         in_dim = 2 * mlp_dim
         for width in mlp_hidden:
-            layers.append(Linear(in_dim, width, rng))
+            layers.append(Linear(in_dim, width, rng, activation="relu"))
             in_dim = width
         self.mlp_layers = layers
         self.head = Linear(gmf_dim + in_dim, 1, rng)
@@ -42,7 +42,7 @@ class NCF(Module):
         gmf = self.user_gmf(users) * self.item_gmf(items)
         h = Tensor.concat([self.user_mlp(users), self.item_mlp(items)], axis=1)
         for layer in self.mlp_layers:
-            h = layer(h).relu()
+            h = layer(h)
         fused = Tensor.concat([gmf, h], axis=1)
         return self.head(fused).reshape(-1)
 

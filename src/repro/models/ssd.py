@@ -120,7 +120,8 @@ class MiniSSD(Module):
         self.num_classes = num_classes
         self.image_size = image_size
         # Backbone: stride-4 feature map of basic blocks.
-        self.stem = Conv2d(in_channels, width // 2, 3, rng, stride=1, padding=1)
+        self.stem = Conv2d(in_channels, width // 2, 3, rng, stride=1, padding=1,
+                           activation="relu")
         self.block1 = BasicBlockV15(width // 2, width, stride=2, rng=rng)
         self.block2 = BasicBlockV15(width, width, stride=2, rng=rng)
         self.feature_size = image_size // 4
@@ -132,7 +133,7 @@ class MiniSSD(Module):
     def forward(self, images: Tensor) -> tuple[Tensor, Tensor]:
         """Return ``(class_logits, box_offsets)`` of shapes
         ``(N, A, num_classes+1)`` and ``(N, A, 4)``."""
-        feat = self.stem(images).relu()
+        feat = self.stem(images)
         feat = self.block1(feat)
         feat = self.block2(feat)
         n = images.shape[0]

@@ -22,6 +22,7 @@ from ..framework import (
     WarmupStepLR,
     functional as F,
     no_grad,
+    record_arena_gauges,
 )
 from ..metrics import top1_accuracy
 from ..models import MiniResNet
@@ -85,7 +86,8 @@ class _Session(TrainingSession):
         )
         augment = random_crop_flip if hp["augment"] else None
         self.loader = DataLoader(
-            self.data.train, hp["batch_size"], seed=seed, drop_last=True, augment=augment
+            self.data.train, hp["batch_size"], seed=seed, drop_last=True, augment=augment,
+            reuse_buffers=True
         )
 
     def run_epoch(self, epoch: int) -> None:
@@ -101,6 +103,7 @@ class _Session(TrainingSession):
                 self.optimizer.step()
                 self.scheduler.step()
             samples.inc(len(images))
+        record_arena_gauges()
 
     def evaluate(self) -> float:
         self.model.eval()

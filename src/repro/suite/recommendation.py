@@ -11,7 +11,7 @@ from typing import Any, Mapping
 import numpy as np
 
 from ..datasets import InteractionConfig, SyntheticInteractions
-from ..framework import Adam
+from ..framework import Adam, record_arena_gauges
 from ..metrics import leave_one_out_eval
 from ..models import NCF
 from ..telemetry import current_metrics, current_tracer
@@ -72,6 +72,7 @@ class _Session(TrainingSession):
                 loss.backward()
                 self.optimizer.step()
             samples.inc(len(users))
+        record_arena_gauges()
 
     def evaluate(self) -> float:
         self.model.eval()

@@ -1,0 +1,247 @@
+"""Bit-identity of the ``reuse``/``fused`` kernel modes vs the naive path.
+
+The kernel modes are the framework's executable version of §2.2.4: the
+arena/fused implementations must be *mathematically identical* to the
+reference, not merely close — so every assertion here is ``array_equal``
+(bitwise), never ``allclose``.  Shapes are chosen to be awkward on
+purpose: stride 2, asymmetric SAME padding, batches that don't divide the
+dataset, inputs that aren't square.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.framework import (
+    ArrayDataset,
+    DataLoader,
+    Parameter,
+    SGD,
+    Tensor,
+    avg_pool2d,
+    conv2d,
+    conv2d_bias_relu,
+    conv2d_same,
+    kernel_mode,
+    linear_bias_act,
+    max_pool2d,
+    no_grad,
+    set_kernel_mode,
+    use_kernel_mode,
+)
+from repro.framework.workspace import arena
+
+RNG = np.random.default_rng(0)
+
+MODES = ("reuse", "fused")
+
+
+def _conv_case(n=5, c=3, f=4, h=9, w=7, k=3, dtype=np.float32):
+    x = RNG.normal(size=(n, c, h, w)).astype(dtype)
+    wt = (RNG.normal(size=(f, c, k, k)) * 0.2).astype(dtype)
+    b = RNG.normal(size=f).astype(dtype)
+    return x, wt, b
+
+
+def _run_conv(mode, fn, x, wt, b, **kwargs):
+    with use_kernel_mode(mode):
+        xt = Tensor(x.copy(), requires_grad=True)
+        wp = Parameter(wt.copy())
+        bp = Parameter(b.copy()) if b is not None else None
+        out = fn(xt, wp, bp, **kwargs)
+        out.backward(np.ones_like(out.data))
+        return out.data, xt.grad, wp.grad, None if bp is None else bp.grad
+
+
+def _assert_identical(ref, got, context):
+    for name, a, c in zip(("out", "x.grad", "w.grad", "b.grad"), ref, got):
+        if a is None:
+            assert c is None
+            continue
+        assert np.array_equal(a, c), f"{context}: {name} diverged"
+
+
+class TestConvBitIdentity:
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("stride,pad", [(1, 0), (1, 1), (2, 1), (2, 0), (3, 2)])
+    def test_conv2d_matches_naive(self, mode, stride, pad):
+        x, wt, b = _conv_case()
+        ref = _run_conv("naive", conv2d, x, wt, b, stride=stride, pad=pad)
+        got = _run_conv(mode, conv2d, x, wt, b, stride=stride, pad=pad)
+        _assert_identical(ref, got, f"conv2d[{mode},s{stride},p{pad}]")
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_conv2d_no_bias(self, mode):
+        x, wt, _ = _conv_case()
+        ref = _run_conv("naive", conv2d, x, wt, None, stride=1, pad=1)
+        got = _run_conv(mode, conv2d, x, wt, None, stride=1, pad=1)
+        _assert_identical(ref, got, f"conv2d-nobias[{mode}]")
+
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("convention", ["tf", "torch_port"])
+    def test_conv2d_same_asymmetric_pad(self, mode, convention):
+        # Stride 2 over even extents forces odd total padding — the
+        # asymmetric case that exercises offset bookkeeping hardest.
+        x, wt, b = _conv_case(n=3, h=8, w=8)
+        ref = _run_conv("naive", conv2d_same, x, wt, b, stride=2,
+                        convention=convention)
+        got = _run_conv(mode, conv2d_same, x, wt, b, stride=2,
+                        convention=convention)
+        _assert_identical(ref, got, f"conv2d_same[{mode},{convention}]")
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_conv2d_float64(self, mode):
+        x, wt, b = _conv_case(dtype=np.float64)
+        ref = _run_conv("naive", conv2d, x, wt, b, stride=1, pad=1)
+        got = _run_conv(mode, conv2d, x, wt, b, stride=1, pad=1)
+        _assert_identical(ref, got, f"conv2d-f64[{mode}]")
+
+    def test_mixed_dtype_falls_back(self):
+        # float32 input with float64 weights: no uniform dtype, so the
+        # arena path must defer to the reference (values still agree).
+        x, wt, b = _conv_case()
+        ref = _run_conv("naive", conv2d, x, wt.astype(np.float64), b, stride=1, pad=1)
+        got = _run_conv("fused", conv2d, x, wt.astype(np.float64), b, stride=1, pad=1)
+        _assert_identical(ref, got, "conv2d-mixed-dtype")
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_conv2d_bias_relu_matches_composition(self, mode):
+        x, wt, b = _conv_case()
+        with use_kernel_mode("naive"):
+            xt = Tensor(x.copy(), requires_grad=True)
+            wp, bp = Parameter(wt.copy()), Parameter(b.copy())
+            out = conv2d(xt, wp, bp, stride=1, pad=1).relu()
+            out.backward(np.ones_like(out.data))
+            ref = (out.data, xt.grad, wp.grad, bp.grad)
+        got = _run_conv(mode, conv2d_bias_relu, x, wt, b, stride=1, pad=1)
+        _assert_identical(ref, got, f"conv2d_bias_relu[{mode}]")
+
+    def test_eval_mode_releases_all_scratch(self):
+        x, wt, b = _conv_case()
+        ws = arena()
+        with use_kernel_mode("fused"), no_grad():
+            before = ws.live_count
+            conv2d_bias_relu(Tensor(x), Parameter(wt), Parameter(b), stride=1, pad=1)
+            assert ws.live_count == before
+
+
+class TestPoolBitIdentity:
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("kernel,stride", [(2, None), (3, 1), (2, 2)])
+    @pytest.mark.parametrize("pool", [max_pool2d, avg_pool2d])
+    def test_pool_matches_naive(self, mode, kernel, stride, pool):
+        x = RNG.normal(size=(4, 3, 8, 6)).astype(np.float32)
+        results = {}
+        for m in ("naive", mode):
+            with use_kernel_mode(m):
+                xt = Tensor(x.copy(), requires_grad=True)
+                out = pool(xt, kernel, stride)
+                out.backward(np.ones_like(out.data))
+                results[m] = (out.data, xt.grad)
+        for a, c in zip(results["naive"], results[mode]):
+            assert np.array_equal(a, c)
+
+
+class TestLinearBitIdentity:
+    @pytest.mark.parametrize("shape", [(6, 5), (2, 3, 5)])
+    @pytest.mark.parametrize("act", ["none", "relu"])
+    @pytest.mark.parametrize("use_bias", [True, False])
+    def test_linear_bias_act_matches_naive(self, shape, act, use_bias):
+        x = RNG.normal(size=shape).astype(np.float64)
+        wt = RNG.normal(size=(4, shape[-1])).astype(np.float64)
+        b = RNG.normal(size=4).astype(np.float64) if use_bias else None
+        g = RNG.normal(size=shape[:-1] + (4,)).astype(np.float64)
+        results = {}
+        for mode in ("naive", "fused"):
+            with use_kernel_mode(mode):
+                xt = Tensor(x.copy(), requires_grad=True)
+                wp = Parameter(wt.copy())
+                bp = Parameter(b.copy()) if use_bias else None
+                out = linear_bias_act(xt, wp, bp, act=act)
+                out.backward(g.copy())
+                results[mode] = (out.data, xt.grad, wp.grad,
+                                 None if bp is None else bp.grad)
+        _assert_identical(results["naive"], results["fused"],
+                          f"linear[{shape},{act},bias={use_bias}]")
+
+    def test_invalid_act_raises(self):
+        with pytest.raises(ValueError):
+            linear_bias_act(Tensor(np.zeros((2, 3))), Parameter(np.zeros((4, 3))),
+                            act="gelu")
+
+
+class TestSGDBitIdentity:
+    @pytest.mark.parametrize("style", ["torch", "caffe"])
+    @pytest.mark.parametrize("momentum,wd", [(0.0, 0.0), (0.9, 0.0), (0.9, 1e-3),
+                                             (0.0, 1e-3)])
+    def test_sgd_matches_naive(self, style, momentum, wd):
+        p0 = RNG.normal(size=(7, 5)).astype(np.float32)
+        grads = [RNG.normal(size=(7, 5)).astype(np.float32) for _ in range(4)]
+        results = {}
+        for mode in ("naive", "fused"):
+            with use_kernel_mode(mode):
+                p = Parameter(p0.copy())
+                opt = SGD([p], lr=0.1, momentum=momentum, weight_decay=wd,
+                          momentum_style=style)
+                for g in grads:
+                    p.grad = g.copy()
+                    opt.step()
+                results[mode] = p.data
+        assert np.array_equal(results["naive"], results["fused"])
+
+
+class TestDataLoaderModes:
+    def test_reuse_buffers_same_values(self):
+        images = RNG.normal(size=(20, 2, 4, 4)).astype(np.float32)
+        labels = np.arange(20)
+        ds = ArrayDataset(images, labels)
+        with use_kernel_mode("naive"):
+            ref = [(x.copy(), y.copy())
+                   for x, y in DataLoader(ds, 8, seed=3, drop_last=True)]
+        with use_kernel_mode("fused"):
+            got = [(x.copy(), y.copy())
+                   for x, y in DataLoader(ds, 8, seed=3, drop_last=True,
+                                          reuse_buffers=True)]
+        for (rx, ry), (gx, gy) in zip(ref, got):
+            assert np.array_equal(rx, gx) and np.array_equal(ry, gy)
+
+    def test_reuse_buffers_recycles_storage(self):
+        ds = ArrayDataset(np.arange(32, dtype=np.float32))
+        with use_kernel_mode("fused"):
+            loader = DataLoader(ds, 8, seed=0, reuse_buffers=True)
+            batches = list(iter(loader))
+        assert all(b is batches[0] for b in batches)
+
+    def test_zero_copy_views_when_sequential(self):
+        arr = np.arange(12, dtype=np.float32)
+        ds = ArrayDataset(arr)
+        with use_kernel_mode("fused"):
+            batch = next(iter(DataLoader(ds, 4, shuffle=False)))
+        assert np.shares_memory(batch, arr)
+        with use_kernel_mode("naive"):
+            batch = next(iter(DataLoader(ds, 4, shuffle=False)))
+        assert not np.shares_memory(batch, arr)
+
+
+class TestConfig:
+    def test_default_mode_is_valid(self):
+        assert kernel_mode() in ("naive", "reuse", "fused")
+
+    def test_set_and_restore(self):
+        original = kernel_mode()
+        previous = set_kernel_mode("naive")
+        assert previous == original
+        assert kernel_mode() == "naive"
+        set_kernel_mode(original)
+
+    def test_use_kernel_mode_restores_on_error(self):
+        original = kernel_mode()
+        with pytest.raises(RuntimeError):
+            with use_kernel_mode("naive"):
+                raise RuntimeError("boom")
+        assert kernel_mode() == original
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            set_kernel_mode("turbo")

@@ -168,6 +168,41 @@ class TestDataLoader:
         assert calls == [4, 4]
         assert np.all(out[0] >= 100)
 
+
+class TestDataLoaderEpochSemantics:
+    """A partial traversal must not burn an epoch's shuffle seed."""
+
+    def test_full_pass_advances_epoch(self):
+        loader = DataLoader(ArrayDataset(np.arange(10)), 5, seed=1)
+        assert loader.epoch == 0
+        list(loader)
+        assert loader.epoch == 1
+
+    def test_abandoned_iterator_does_not_advance(self):
+        ds = ArrayDataset(np.arange(20))
+        loader = DataLoader(ds, 5, seed=1)
+        for _ in loader:
+            break  # peek at one batch, then abandon the pass
+        assert loader.epoch == 0
+        replay = np.concatenate(list(loader))
+        fresh = np.concatenate(list(DataLoader(ds, 5, seed=1)))
+        np.testing.assert_array_equal(replay, fresh)
+
+    def test_drop_last_tail_still_completes_epoch(self):
+        loader = DataLoader(ArrayDataset(np.arange(23)), 5, seed=1, drop_last=True)
+        list(loader)
+        assert loader.epoch == 1
+
+    def test_set_epoch_positions_schedule(self):
+        ds = ArrayDataset(np.arange(30))
+        sequential = DataLoader(ds, 6, seed=9)
+        for _ in range(3):
+            list(sequential)
+        jumped = DataLoader(ds, 6, seed=9)
+        jumped.set_epoch(3)
+        np.testing.assert_array_equal(
+            np.concatenate(list(jumped)), np.concatenate(list(sequential)))
+
     def test_multi_array_batches(self):
         ds = ArrayDataset(np.arange(6), np.arange(6) * 10)
         x, y = next(iter(DataLoader(ds, 3, shuffle=False)))
