@@ -71,6 +71,10 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--jobs", type=int, default=1,
                           help="worker processes (1 = in-process sequential "
                                "executor, the deterministic default)")
+    campaign.add_argument("--processes-per-job", type=int, default=1,
+                          help="cores each job occupies (set to dp_workers "
+                               "when overriding it >1 so the outer pool "
+                               "shrinks instead of oversubscribing)")
     campaign.add_argument("--retries", type=int, default=2,
                           help="per-cell retry cap for faulted runs")
     campaign.add_argument("--backoff", type=float, default=0.05,
@@ -142,6 +146,38 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("-o", "--out", metavar="FILE",
                        default="benchmarks/reports/BENCH_kernels.json",
                        help="report path (default %(default)s; '-' to skip writing)")
+
+    comms = sub.add_parser(
+        "bench-comms",
+        help="benchmark the sharded data-parallel engine: workers x "
+             "reduction algorithm x bucket size vs the in-process baseline, "
+             "with bit-identity checked on every configuration")
+    comms.add_argument("--smoke", action="store_true",
+                       help="fast CI variant: 2 workers, fewer steps; exit "
+                            "non-zero on any divergence from the in-process "
+                            "engine, or (on multi-core hosts) on 2-worker "
+                            "speedup below --min-speedup")
+    comms.add_argument("--workers", type=int, nargs="+", default=None,
+                       help="worker counts to sweep (default 2 3 4; 2 with --smoke)")
+    comms.add_argument("--algorithms", nargs="+", default=None,
+                       choices=["flat", "ring", "tree"],
+                       help="reduction algorithms to sweep (default: all)")
+    comms.add_argument("--bucket-bytes", type=int, nargs="+", default=None,
+                       help="bucket capacities to sweep (default 32KiB+256KiB; "
+                            "256KiB with --smoke)")
+    comms.add_argument("--backend", choices=["process", "inline"], default=None,
+                       help="engine backend (default: process where fork is "
+                            "available, else inline)")
+    comms.add_argument("--steps", type=int, default=None,
+                       help="timed steps per configuration (default 8; 2 with "
+                            "--smoke)")
+    comms.add_argument("--min-speedup", type=float, default=1.0,
+                       help="smoke gate on best 2-worker speedup; only "
+                            "enforced when the host has >= 2 usable cores "
+                            "(default 1.0)")
+    comms.add_argument("-o", "--out", metavar="FILE",
+                       default="benchmarks/reports/BENCH_comms.json",
+                       help="report path (default %(default)s; '-' to skip writing)")
     return parser
 
 
@@ -189,7 +225,10 @@ def _cmd_run(args, out) -> int:
     for seed in range(args.seeds):
         # One telemetry session per seed (pid=seed) so a multi-run trace
         # file keeps its runs on separate process rows in the viewer.
-        telemetry = Telemetry(clock=runner.clock, pid=seed) if args.trace else None
+        # Saved runs also collect telemetry: the metrics snapshot rides
+        # in the artifact header, where `repro stats` reads it back.
+        want_telemetry = args.trace or args.save
+        telemetry = Telemetry(clock=runner.clock, pid=seed) if want_telemetry else None
         try:
             result = runner.run(benchmark, seed=seed,
                                 hyperparameter_overrides=overrides,
@@ -282,8 +321,12 @@ def _cmd_campaign(args, out) -> int:
         overrides=_parse_overrides(args.override) or None,
         timeout_s=args.timeout,
     )
+    if args.processes_per_job < 1:
+        print("--processes-per-job must be >= 1", file=out)
+        return 2
     executor = (SequentialExecutor() if args.jobs == 1
-                else MultiprocessExecutor(args.jobs))
+                else MultiprocessExecutor(
+                    args.jobs, processes_per_job=args.processes_per_job))
     campaign_dir = args.resume or args.save
 
     outcome = run_campaign(
@@ -439,6 +482,44 @@ def _cmd_bench_kernels(args, out) -> int:
     return 0
 
 
+def _cmd_bench_comms(args, out) -> int:
+    from pathlib import Path
+
+    from .comms.bench import bench_comms, gate_failures
+
+    payload = bench_comms(smoke=args.smoke, workers=args.workers,
+                          algorithms=args.algorithms,
+                          bucket_sizes=args.bucket_bytes,
+                          steps=args.steps, backend=args.backend)
+    print(f"backend: {payload['backend']}  cpu_count: {payload['cpu_count']}  "
+          f"workload: dims={payload['workload']['dims']} "
+          f"batch={payload['workload']['batch']}", file=out)
+    for entry in payload["results"]:
+        flag = "ok" if entry["bit_identical_vs_sync"] else "DIVERGED"
+        print(f"  W={entry['workers']} {entry['algorithm']:<5} "
+              f"bucket={entry['bucket_bytes'] // 1024:>4}KiB  "
+              f"{entry['baseline_step_seconds'] * 1e3:>8.2f}ms sync  "
+              f"{entry['step_seconds'] * 1e3:>8.2f}ms sharded  "
+              f"{entry['speedup']:>5.2f}x  [{flag}]", file=out)
+    best = payload["checks"]["best_speedup_by_workers"]
+    summary = "  ".join(f"W={w}: {s:.2f}x" for w, s in sorted(best.items()))
+    print(f"  best speedup by workers: {summary}", file=out)
+
+    if args.out and args.out != "-":
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"report written to {path}", file=out)
+
+    if args.smoke:
+        failures = gate_failures(payload, min_speedup=args.min_speedup,
+                                 speedup_workers=2)
+        for failure in failures:
+            print(f"GATE FAILED: {failure}", file=out)
+        return 1 if failures else 0
+    return 0
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "run": _cmd_run,
@@ -450,6 +531,7 @@ _COMMANDS = {
     "hp-table": _cmd_hp_table,
     "simulate": _cmd_simulate,
     "bench-kernels": _cmd_bench_kernels,
+    "bench-comms": _cmd_bench_comms,
 }
 
 

@@ -1,0 +1,219 @@
+"""Gradient bucketing: pack parameters into fixed-size flat buffers.
+
+Real data-parallel engines never all-reduce per-parameter tensors — they
+coalesce gradients into a handful of flat, fixed-capacity *buckets* so each
+reduction moves one large contiguous buffer (PyTorch DDP's design, and the
+structured-communication point MLPerf Inference makes about measured
+comms).  This module owns that layout:
+
+- :func:`assign_buckets` walks parameters in **reverse** registration
+  order — backward passes finalize gradients roughly output-to-input, so
+  reverse order lets early buckets fill (and start reducing) while the
+  tail of the backward pass is still running;
+- :class:`BucketLayout` pins every parameter to a ``(bucket, offset)``
+  slot, deterministically — the layout is a pure function of the parameter
+  list and capacity, so every worker process derives the identical layout
+  without coordination;
+- :class:`BucketWriter` copies finished gradients into caller-provided
+  flat buffers (plain arrays inline, shared-memory views in the process
+  engine) as :meth:`~repro.framework.tensor.Tensor.register_grad_hook`
+  fires, and reports the moment each bucket completes.
+
+Parameters whose gradient never materializes (``grad=None`` — a head not
+touched by this loss) are flushed as zeros *after* the backward pass and
+flagged, so the engine can distinguish "reduced zero" from "no gradient"
+and reproduce ``SynchronousDataParallel``'s ``p.grad = None`` behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..framework.module import Parameter
+
+__all__ = ["ParamSlot", "Bucket", "BucketLayout", "BucketWriter",
+           "assign_buckets", "DEFAULT_BUCKET_BYTES"]
+
+DEFAULT_BUCKET_BYTES = 256 * 1024
+
+
+@dataclass(frozen=True)
+class ParamSlot:
+    """Where one parameter's flattened gradient lives."""
+
+    index: int  # position in the engine's canonical parameter list
+    name: str
+    shape: tuple[int, ...]
+    dtype: np.dtype
+    bucket: int
+    offset: int  # element offset inside the bucket
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape)) if self.shape else 1
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """One flat reduction unit: same-dtype parameters packed contiguously."""
+
+    index: int
+    dtype: np.dtype
+    size: int  # elements
+    slots: tuple[ParamSlot, ...]
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * self.dtype.itemsize
+
+
+def assign_buckets(params: Sequence[Parameter],
+                   bucket_bytes: int = DEFAULT_BUCKET_BYTES,
+                   names: Sequence[str] | None = None) -> list[Bucket]:
+    """Greedily pack parameters (reverse order) into same-dtype buckets.
+
+    A parameter larger than ``bucket_bytes`` gets a bucket of its own; a
+    dtype change forces a new bucket (buckets are homogeneous so reduction
+    is a single vectorized chain per bucket).
+    """
+    if bucket_bytes <= 0:
+        raise ValueError("bucket_bytes must be positive")
+    if names is None:
+        names = [p.name or f"param{i}" for i, p in enumerate(params)]
+
+    buckets: list[Bucket] = []
+    pending: list[ParamSlot] = []
+    pending_dtype: np.dtype | None = None
+    pending_size = 0
+
+    def flush() -> None:
+        nonlocal pending, pending_dtype, pending_size
+        if pending:
+            buckets.append(Bucket(len(buckets), pending_dtype, pending_size,
+                                  tuple(pending)))
+        pending, pending_dtype, pending_size = [], None, 0
+
+    for index in reversed(range(len(params))):
+        p = params[index]
+        dtype = np.dtype(p.data.dtype)
+        size = int(p.data.size)
+        if pending and (dtype != pending_dtype
+                        or (pending_size + size) * dtype.itemsize > bucket_bytes):
+            flush()
+        pending_dtype = dtype
+        pending.append(ParamSlot(index=index, name=names[index],
+                                 shape=tuple(p.data.shape), dtype=dtype,
+                                 bucket=len(buckets), offset=pending_size))
+        pending_size += size
+    flush()
+    return buckets
+
+
+class BucketLayout:
+    """The full bucket map for one model's parameter list."""
+
+    def __init__(self, params: Sequence[Parameter],
+                 bucket_bytes: int = DEFAULT_BUCKET_BYTES,
+                 names: Sequence[str] | None = None):
+        self.params = list(params)
+        self.bucket_bytes = int(bucket_bytes)
+        self.buckets = assign_buckets(self.params, self.bucket_bytes, names)
+        self.slots: dict[int, ParamSlot] = {
+            slot.index: slot for b in self.buckets for slot in b.slots
+        }
+
+    @property
+    def num_buckets(self) -> int:
+        return len(self.buckets)
+
+    @property
+    def total_elements(self) -> int:
+        return sum(b.size for b in self.buckets)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(b.nbytes for b in self.buckets)
+
+    def allocate(self) -> list[np.ndarray]:
+        """Fresh zeroed flat buffers, one per bucket."""
+        return [np.zeros(b.size, dtype=b.dtype) for b in self.buckets]
+
+    def slot_view(self, buffers: Sequence[np.ndarray], slot: ParamSlot) -> np.ndarray:
+        """The (flat) view of one parameter's region in ``buffers``."""
+        return buffers[slot.bucket][slot.offset:slot.offset + slot.size]
+
+
+class BucketWriter:
+    """Streams finished gradients into bucket buffers via grad hooks.
+
+    One writer serves one model replica.  Per step: :meth:`arm` resets the
+    fill state, the backward pass fires parameter grad hooks which copy
+    each gradient into its slot and invoke ``on_bucket_ready(bucket_index)``
+    the instant a bucket's last gradient lands, and :meth:`flush_missing`
+    zero-fills whatever the backward pass never produced (returning those
+    slots so the caller can flag them).
+    """
+
+    def __init__(self, layout: BucketLayout, buffers: Sequence[np.ndarray],
+                 on_bucket_ready: Callable[[int], None] | None = None):
+        sizes = [buf.size for buf in buffers]
+        expected = [b.size for b in layout.buckets]
+        if sizes != expected:
+            raise ValueError(f"buffer sizes {sizes} do not match layout {expected}")
+        self.layout = layout
+        self.buffers = list(buffers)
+        self.on_bucket_ready = on_bucket_ready
+        self._filled: list[int] = [0] * layout.num_buckets
+        self._written: set[int] = set()
+        self._armed = False
+        self._removers = [
+            p.register_grad_hook(self._make_hook(layout.slots[i]))
+            for i, p in enumerate(layout.params)
+        ]
+
+    def _make_hook(self, slot: ParamSlot) -> Callable:
+        def hook(tensor) -> None:
+            if self._armed and slot.index not in self._written:
+                self._write(slot, tensor.grad)
+        return hook
+
+    def _write(self, slot: ParamSlot, grad: np.ndarray) -> None:
+        view = self.layout.slot_view(self.buffers, slot)
+        np.copyto(view, grad.reshape(-1))
+        self._written.add(slot.index)
+        self._filled[slot.bucket] += 1
+        if (self._filled[slot.bucket] == len(self.layout.buckets[slot.bucket].slots)
+                and self.on_bucket_ready is not None):
+            self.on_bucket_ready(slot.bucket)
+
+    def arm(self) -> None:
+        """Reset fill tracking for a new backward pass."""
+        self._filled = [0] * self.layout.num_buckets
+        self._written = set()
+        self._armed = True
+
+    def flush_missing(self) -> list[ParamSlot]:
+        """Zero-fill unproduced gradients; completes every pending bucket."""
+        missing = [
+            self.layout.slots[i]
+            for i in range(len(self.layout.params))
+            if i not in self._written
+        ]
+        for slot in missing:
+            self.layout.slot_view(self.buffers, slot)[:] = 0
+            self._written.add(slot.index)
+            self._filled[slot.bucket] += 1
+            if (self._filled[slot.bucket] == len(self.layout.buckets[slot.bucket].slots)
+                    and self.on_bucket_ready is not None):
+                self.on_bucket_ready(slot.bucket)
+        self._armed = False
+        return missing
+
+    def close(self) -> None:
+        """Detach every grad hook."""
+        for remove in self._removers:
+            remove()
+        self._removers = []

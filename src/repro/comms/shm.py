@@ -1,0 +1,187 @@
+"""Shared-memory plumbing for the multiprocess data-parallel engine.
+
+All bulk per-step traffic — parameters, per-worker gradient buckets, the
+reduced output, and input batches — travels through
+``multiprocessing.shared_memory`` segments: one memcpy in, zero-copy views
+out, and **no per-step pickling of weights or batches** (only small layout
+descriptors cross the command queues).  This module keeps the segment
+bookkeeping in one place:
+
+- :func:`aligned_offsets` lays out heterogeneous arrays in one segment
+  with 64-byte alignment (so every view is safely dtype-aligned and
+  cache-line separated);
+- :class:`Segment` wraps ``SharedMemory`` with typed views and exactly-once
+  cleanup semantics (close everywhere, unlink once, in the creator);
+- :class:`BatchBoard` publishes a tuple of batch arrays into a growable
+  segment and hands workers a compact layout descriptor to rebuild
+  zero-copy views from.
+
+Fork-based pools inherit the creator's mappings directly; a worker only
+(re)attaches by name when the batch board has grown a fresh segment, and
+unregisters the attachment from ``resource_tracker`` so the segment's
+lifetime stays owned by the parent.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import resource_tracker, shared_memory
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ALIGNMENT", "aligned_offsets", "Segment", "BatchBoard", "BatchLayout"]
+
+ALIGNMENT = 64
+
+
+def _align(offset: int) -> int:
+    return (offset + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+
+
+def aligned_offsets(specs: Sequence[tuple[tuple[int, ...], np.dtype]]) -> tuple[list[int], int]:
+    """Byte offsets (64-byte aligned) for packing ``specs`` into one buffer.
+
+    Returns ``(offsets, total_bytes)``; ``total_bytes`` is at least 1 so a
+    zero-spec layout still maps a valid segment.
+    """
+    offsets, cursor = [], 0
+    for shape, dtype in specs:
+        cursor = _align(cursor)
+        offsets.append(cursor)
+        cursor += int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize if shape else np.dtype(dtype).itemsize
+    return offsets, max(cursor, 1)
+
+
+class Segment:
+    """One shared-memory segment with ndarray views at fixed offsets."""
+
+    def __init__(self, nbytes: int, name_hint: str = "repro-comms"):
+        self.shm = shared_memory.SharedMemory(create=True, size=max(int(nbytes), 1))
+        self.name = self.shm.name
+        self._owner = True
+
+    @classmethod
+    def attach(cls, name: str) -> "Segment":
+        """Attach to an existing segment (worker side) without owning it.
+
+        Attaching must not register the segment with ``resource_tracker``:
+        the creator already did, the tracker cache is shared across a fork,
+        and a second registration of the same name would corrupt the
+        creator's exactly-once unlink accounting.
+        """
+        seg = cls.__new__(cls)
+        original_register = resource_tracker.register
+        try:
+            resource_tracker.register = (
+                lambda rname, rtype: None if rtype == "shared_memory"
+                else original_register(rname, rtype)
+            )
+            seg.shm = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+        seg.name = name
+        seg._owner = False
+        return seg
+
+    @property
+    def size(self) -> int:
+        return self.shm.size
+
+    def view(self, shape: tuple[int, ...], dtype, offset: int = 0,
+             writeable: bool = True) -> np.ndarray:
+        arr = np.ndarray(shape, dtype=dtype, buffer=self.shm.buf, offset=offset)
+        if not writeable:
+            arr.flags.writeable = False
+        return arr
+
+    def close(self) -> None:
+        try:
+            self.shm.close()
+        except BufferError:  # views still alive; drop our handle lazily
+            pass
+
+    def unlink(self) -> None:
+        if self._owner:
+            self._owner = False
+            try:
+                self.shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def destroy(self) -> None:
+        self.close()
+        self.unlink()
+
+
+class BatchLayout:
+    """Picklable descriptor of one published batch (the only per-step IPC)."""
+
+    __slots__ = ("segment", "generation", "shapes", "dtypes", "offsets")
+
+    def __init__(self, segment: str, generation: int,
+                 shapes: list[tuple[int, ...]], dtypes: list[str],
+                 offsets: list[int]):
+        self.segment = segment
+        self.generation = generation
+        self.shapes = shapes
+        self.dtypes = dtypes
+        self.offsets = offsets
+
+    def __reduce__(self):
+        return (BatchLayout, (self.segment, self.generation, self.shapes,
+                              self.dtypes, self.offsets))
+
+
+class BatchBoard:
+    """Publishes batch tuples into shared memory; grows monotonically.
+
+    The parent calls :meth:`publish` once per step; workers call
+    :meth:`views` with the returned layout.  A worker caches its attachment
+    per generation, so re-attachment only happens when a larger batch
+    forced a new segment.
+    """
+
+    def __init__(self):
+        self._segment: Segment | None = None
+        self._generation = 0
+        # Worker-side cache: (generation -> Segment)
+        self._attached: tuple[int, Segment] | None = None
+
+    def publish(self, arrays: Sequence[np.ndarray]) -> BatchLayout:
+        specs = [(a.shape, a.dtype) for a in arrays]
+        offsets, total = aligned_offsets(specs)
+        if self._segment is None or self._segment.size < total:
+            if self._segment is not None:
+                self._segment.destroy()
+            self._segment = Segment(total)
+            self._generation += 1
+        seg = self._segment
+        for a, offset in zip(arrays, offsets):
+            np.copyto(seg.view(a.shape, a.dtype, offset), a)
+        return BatchLayout(
+            segment=seg.name,
+            generation=self._generation,
+            shapes=[tuple(a.shape) for a in arrays],
+            dtypes=[a.dtype.str for a in arrays],
+            offsets=offsets,
+        )
+
+    def views(self, layout: BatchLayout) -> tuple[np.ndarray, ...]:
+        """Worker-side zero-copy views of a published batch (read-only)."""
+        if self._attached is None or self._attached[0] != layout.generation:
+            if self._attached is not None:
+                self._attached[1].close()
+            self._attached = (layout.generation, Segment.attach(layout.segment))
+        seg = self._attached[1]
+        return tuple(
+            seg.view(shape, np.dtype(dtype), offset, writeable=False)
+            for shape, dtype, offset in zip(layout.shapes, layout.dtypes, layout.offsets)
+        )
+
+    def close(self) -> None:
+        if self._segment is not None:
+            self._segment.destroy()
+            self._segment = None
+        if self._attached is not None:
+            self._attached[1].close()
+            self._attached = None

@@ -23,6 +23,7 @@ from dataclasses import asdict
 from pathlib import Path
 
 from ..suite.base import BenchmarkSpec
+from ..telemetry import RunTelemetry
 from .mllog import Keys, MLLogger, parse_log_lines
 from .review import ReviewReport, review_submission
 from .runner import RunResult
@@ -90,6 +91,10 @@ def save_run_result(path: str | Path, run: RunResult) -> Path:
             "breakdown": (
                 asdict(run.breakdown) if run.breakdown is not None else None
             ),
+            # Metrics ride in the header so `repro stats` sees counters
+            # (e.g. allreduce traffic) on reloaded runs; trace events are
+            # reconstructible from the log and stay out of it.
+            "metrics": run.telemetry.metrics if run.telemetry is not None else None,
         },
         sort_keys=True,
     )
@@ -143,6 +148,7 @@ def _parse_result_file(benchmark: str, path: Path) -> RunResult:
     log_lines = [line for line in rest.splitlines() if line.strip()]
     history = [float(e.value) for e in parse_log_lines(rest) if e.key == Keys.EVAL_ACCURACY]
     raw_breakdown = header.get("breakdown")
+    raw_metrics = header.get("metrics")
     return RunResult(
         benchmark=benchmark,
         seed=int(header["seed"]),
@@ -154,6 +160,7 @@ def _parse_result_file(benchmark: str, path: Path) -> RunResult:
         quality_history=history,
         log_lines=log_lines,
         breakdown=TimingBreakdown(**raw_breakdown) if raw_breakdown else None,
+        telemetry=RunTelemetry(metrics=raw_metrics) if raw_metrics else None,
     )
 
 

@@ -103,6 +103,10 @@ class PhaseRow:
     eval_s: float
     other_s: float
     time_to_train_s: float
+    # Mean all-reduce traffic per run (0 when the run carries no
+    # telemetry or used no data-parallel engine).
+    allreduce_elements: float = 0.0
+    allreduce_bytes: float = 0.0
 
 
 def _decompose_run(run: RunResult):
@@ -118,6 +122,15 @@ def _decompose_run(run: RunResult):
     return init, creation, phases.train_s, phases.eval_s, phases.other_s, ttt
 
 
+def _allreduce_counter(run: RunResult, name: str) -> float:
+    if run.telemetry is None or not run.telemetry.metrics:
+        return 0.0
+    inst = run.telemetry.metrics.get(name)
+    if not inst or inst.get("type") != "counter":
+        return 0.0
+    return float(inst["value"])
+
+
 def build_phase_table(runs_by_benchmark: dict[str, list[RunResult]]) -> list[PhaseRow]:
     """Aggregate per-run phase decompositions into per-benchmark means."""
     rows = []
@@ -126,8 +139,21 @@ def build_phase_table(runs_by_benchmark: dict[str, list[RunResult]]) -> list[Pha
             continue
         parts = [_decompose_run(r) for r in runs]
         means = [sum(p[i] for p in parts) / len(parts) for i in range(6)]
-        rows.append(PhaseRow(benchmark, len(runs), *means))
+        elements = sum(_allreduce_counter(r, "allreduce_elements") for r in runs) / len(runs)
+        nbytes = sum(_allreduce_counter(r, "allreduce_bytes") for r in runs) / len(runs)
+        rows.append(PhaseRow(benchmark, len(runs), *means,
+                             allreduce_elements=elements, allreduce_bytes=nbytes))
     return rows
+
+
+def _human_count(value: float) -> str:
+    """Compact counts for the table: 0 -> '-', 1.5e6 -> '1.5M'."""
+    if value <= 0:
+        return "-"
+    for scale, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "K")):
+        if value >= scale:
+            return f"{value / scale:.1f}{suffix}"
+    return f"{value:.0f}"
 
 
 def render_phase_table(rows: list[PhaseRow]) -> str:
@@ -135,6 +161,7 @@ def render_phase_table(rows: list[PhaseRow]) -> str:
     header = (
         f"{'Benchmark':<26}{'Runs':>6}{'Init':>9}{'Create':>9}{'Train':>9}"
         f"{'Eval':>9}{'Other':>9}{'TTT (s)':>10}{'Train%':>8}"
+        f"{'AllRed el':>11}{'AllRed B':>10}"
     )
     lines = [header, "-" * len(header)]
     for row in rows:
@@ -144,6 +171,8 @@ def render_phase_table(rows: list[PhaseRow]) -> str:
             f"{row.benchmark:<26}{row.num_runs:>6}{row.init_s:>9.3f}"
             f"{row.model_creation_s:>9.3f}{row.train_s:>9.3f}{row.eval_s:>9.3f}"
             f"{row.other_s:>9.3f}{row.time_to_train_s:>10.3f}{train_pct:>7.1f}%"
+            f"{_human_count(row.allreduce_elements):>11}"
+            f"{_human_count(row.allreduce_bytes):>10}"
         )
     return "\n".join(lines)
 

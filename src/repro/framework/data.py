@@ -12,6 +12,8 @@ data order (one of the paper's named sources of run-to-run variance,
 
 from __future__ import annotations
 
+import queue as queue_mod
+import threading
 from typing import Callable, Iterator, Sequence
 
 import numpy as np
@@ -76,6 +78,19 @@ class DataLoader:
       Each yielded batch is then only valid until the next iteration, so
       callers must consume batches immediately (as ``run_epoch`` loops do)
       and must not hold references across steps, e.g. ``list(loader)``.
+
+    **Prefetch.** ``prefetch=1`` (opt-in) assembles and augments batches on
+    a background thread, up to ``prefetch`` ahead of the consumer, so the
+    data pipeline overlaps with compute.  The producer runs the *same*
+    sequential code path — same shuffle permutation, same per-epoch RNG,
+    same augment call order — so batch contents, order, and RNG draws are
+    bit-identical to the non-prefetch loader.  Combined with
+    ``reuse_buffers``, the loader rotates ``prefetch + 2`` buffer sets (one
+    being consumed, ``prefetch`` queued, one being filled), preserving the
+    valid-until-next-iteration contract without copies.  Abandoning the
+    iterator early stops and joins the producer thread; start any
+    fork-based worker pool (e.g. ``ShardedDataParallel``) *before* iterating
+    a prefetching loader so the fork happens while no producer is running.
     """
 
     def __init__(
@@ -88,9 +103,12 @@ class DataLoader:
         drop_last: bool = False,
         augment: Callable[..., tuple] | None = None,
         reuse_buffers: bool = False,
+        prefetch: int = 0,
     ):
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if prefetch < 0:
+            raise ValueError("prefetch cannot be negative")
         self.dataset = dataset
         self.batch_size = int(batch_size)
         self.shuffle = shuffle
@@ -98,8 +116,10 @@ class DataLoader:
         self.drop_last = drop_last
         self.augment = augment
         self.reuse_buffers = reuse_buffers
+        self.prefetch = int(prefetch)
         self.epoch = 0
-        self._batch_bufs: tuple[np.ndarray, ...] | None = None
+        self._buf_ring: list[tuple[np.ndarray, ...]] | None = None
+        self._buf_idx = 0
 
     def __len__(self) -> int:
         n = len(self.dataset)
@@ -124,18 +144,27 @@ class DataLoader:
             and len(idx) == self.batch_size
             and self._fast_mode()
         ):
-            if self._batch_bufs is None:
-                self._batch_bufs = tuple(
-                    np.empty((self.batch_size,) + a.shape[1:], dtype=a.dtype)
-                    for a in self.dataset.arrays
-                )
-            for a, buf in zip(self.dataset.arrays, self._batch_bufs):
+            if self._buf_ring is None:
+                # With prefetch, batches are alive in three places at once
+                # (consumer, queue, producer) — rotate enough buffer sets
+                # that none is overwritten while still referenced.
+                depth = self.prefetch + 2 if self.prefetch > 0 else 1
+                self._buf_ring = [
+                    tuple(
+                        np.empty((self.batch_size,) + a.shape[1:], dtype=a.dtype)
+                        for a in self.dataset.arrays
+                    )
+                    for _ in range(depth)
+                ]
+            bufs = self._buf_ring[self._buf_idx]
+            self._buf_idx = (self._buf_idx + 1) % len(self._buf_ring)
+            for a, buf in zip(self.dataset.arrays, bufs):
                 np.take(a, idx, axis=0, out=buf)
-            return self._batch_bufs
+            return bufs
         batch = self.dataset[idx]
         return batch if isinstance(batch, tuple) else (batch,)
 
-    def __iter__(self) -> Iterator[tuple]:
+    def _produce(self) -> Iterator[tuple]:
         n = len(self.dataset)
         rng = np.random.default_rng((self.seed, self.epoch))
         # Sequential unaugmented traversal of plain arrays needs no index
@@ -164,3 +193,48 @@ class DataLoader:
         # Reached only on a completed pass: an abandoned iterator does not
         # advance the schedule (see class docstring).
         self.epoch += 1
+
+    def __iter__(self) -> Iterator[tuple]:
+        if self.prefetch <= 0:
+            yield from self._produce()
+            return
+
+        out: queue_mod.Queue = queue_mod.Queue(maxsize=self.prefetch)
+        stop = threading.Event()
+        done = object()
+
+        def producer() -> None:
+            try:
+                for batch in self._produce():
+                    while not stop.is_set():
+                        try:
+                            out.put(batch, timeout=0.05)
+                            break
+                        except queue_mod.Full:
+                            continue
+                    if stop.is_set():
+                        return
+                out.put(done)
+            except BaseException as exc:  # surfaced on the consumer side
+                out.put(exc)
+
+        thread = threading.Thread(target=producer, daemon=True,
+                                  name="repro-dataloader-prefetch")
+        thread.start()
+        try:
+            while True:
+                item = out.get()
+                if item is done:
+                    break
+                if isinstance(item, BaseException):
+                    raise item
+                yield item
+        finally:
+            stop.set()
+            # Unblock a producer stuck on a full queue, then reap it.
+            try:
+                while True:
+                    out.get_nowait()
+            except queue_mod.Empty:
+                pass
+            thread.join(timeout=5.0)

@@ -71,6 +71,13 @@ class TrainingSession(ABC):
         """Optional extra metrics recorded alongside the primary quality."""
         return {}
 
+    def close(self) -> None:
+        """Release session resources (worker pools, shared memory).
+
+        Called by the runner when the run ends, success or failure; the
+        default is a no-op for sessions with no external resources.
+        """
+
 
 class Benchmark(ABC):
     """A benchmark definition: spec + data + session factory."""

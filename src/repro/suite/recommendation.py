@@ -35,9 +35,20 @@ _SPEC = BenchmarkSpec(
         "gmf_dim": 8,
         "mlp_dim": 16,
         "mlp_hidden": (32, 16),
+        # §2.2.2 scale-out: >1 runs each step through ShardedDataParallel
+        # (bit-identical to dp_workers' in-process synchronous semantics).
+        "dp_workers": 1,
+        "dp_algorithm": "flat",
     },
-    modifiable_hyperparameters=frozenset({"batch_size", "base_lr", "num_negatives"}),
+    modifiable_hyperparameters=frozenset(
+        {"batch_size", "base_lr", "num_negatives", "dp_workers", "dp_algorithm"}
+    ),
 )
+
+
+def _dp_loss(model: NCF, shard: tuple) -> "Tensor":
+    users, items, labels = shard
+    return model.loss(users, items, labels)
 
 
 class _Session(TrainingSession):
@@ -53,6 +64,20 @@ class _Session(TrainingSession):
         self.optimizer = Adam(self.model.parameters(), lr=hp["base_lr"])
         self.seed = seed
         self._ndcg = 0.0
+        self._engine = None
+        workers = int(hp.get("dp_workers", 1))
+        if workers > 1:
+            if hp["batch_size"] % workers != 0:
+                raise ValueError(
+                    f"batch_size {hp['batch_size']} not divisible by "
+                    f"dp_workers {workers}"
+                )
+            from ..comms import ShardedDataParallel
+
+            self._engine = ShardedDataParallel(
+                self.model, self.optimizer, workers, _dp_loss,
+                algorithm=hp.get("dp_algorithm", "flat"),
+            )
 
     def run_epoch(self, epoch: int) -> None:
         """One pass over the positive interactions with fresh negatives."""
@@ -67,12 +92,20 @@ class _Session(TrainingSession):
                 users, items, labels = self.data.sample_training_batch(
                     bs, self.hp["num_negatives"], rng
                 )
-                loss = self.model.loss(users, items, labels)
-                self.model.zero_grad()
-                loss.backward()
-                self.optimizer.step()
+                if self._engine is not None:
+                    self._engine.step((users, items, labels))
+                else:
+                    loss = self.model.loss(users, items, labels)
+                    self.model.zero_grad()
+                    loss.backward()
+                    self.optimizer.step()
             samples.inc(len(users))
         record_arena_gauges()
+
+    def close(self) -> None:
+        if self._engine is not None:
+            self._engine.close()
+            self._engine = None
 
     def evaluate(self) -> float:
         self.model.eval()

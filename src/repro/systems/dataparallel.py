@@ -98,12 +98,16 @@ class SynchronousDataParallel:
             # All-reduce: average and install the global gradient.
             with tracer.span("all_reduce", num_workers=self.num_workers):
                 reduced_elements = 0
+                reduced_bytes = 0
                 for p in self.model.parameters():
                     grad = accumulated.get(id(p))
                     if grad is not None:
                         reduced_elements += grad.size
+                        reduced_bytes += grad.nbytes
                     p.grad = None if grad is None else grad / self.num_workers
-                current_metrics().counter("allreduce_elements").inc(reduced_elements)
+                metrics = current_metrics()
+                metrics.counter("allreduce_elements").inc(reduced_elements)
+                metrics.counter("allreduce_bytes").inc(reduced_bytes)
             self.optimizer.step()
         self.model.zero_grad()
         return total_loss / self.num_workers
@@ -132,25 +136,57 @@ class AsynchronousDataParallel:
         self.rng = rng
         self.max_staleness = max_staleness
         self._snapshots: list[dict[str, np.ndarray]] = []
+        # Buffer reuse: snapshot dicts evicted from the staleness window
+        # are recycled (np.copyto into their arrays) instead of allocating
+        # a fresh state_dict copy per update, and stale weights are loaded
+        # through one reused scratch buffer per parameter rather than a
+        # second full .copy() per worker.
+        self._retired: list[dict[str, np.ndarray]] = []
+        self._scratch: dict[str, np.ndarray] = {}
 
     def _snapshot(self) -> dict[str, np.ndarray]:
+        while self._retired:
+            snap = self._retired.pop()
+            for name, p in self.model.named_parameters():
+                buf = snap.get(name)
+                if buf is None or buf.shape != p.data.shape or buf.dtype != p.data.dtype:
+                    snap[name] = p.data.copy()
+                else:
+                    np.copyto(buf, p.data)
+            return snap
         return self.model.state_dict()
+
+    def _push_snapshot(self) -> None:
+        self._snapshots.append(self._snapshot())
+        keep = self.max_staleness + 1
+        if len(self._snapshots) > keep:
+            self._retired.extend(self._snapshots[:-keep])
+            self._snapshots = self._snapshots[-keep:]
+
+    def _load_stale(self, live_state: dict[str, "Tensor"],
+                    stale: dict[str, np.ndarray]) -> None:
+        """Point parameters at reused scratch copies of a stale snapshot."""
+        for name, p in live_state.items():
+            buf = self._scratch.get(name)
+            if buf is None or buf.shape != stale[name].shape or buf.dtype != stale[name].dtype:
+                buf = stale[name].copy()
+                self._scratch[name] = buf
+            else:
+                np.copyto(buf, stale[name])
+            p.data = buf
 
     def step(self, batch: tuple[np.ndarray, ...]) -> float:
         """One asynchronous round: every worker contributes one update."""
         shards = shard_batch(batch, self.num_workers)
         order = self.rng.permutation(self.num_workers)
-        current = self._snapshot()
-        self._snapshots.append(current)
-        self._snapshots = self._snapshots[-(self.max_staleness + 1):]
+        self._push_snapshot()
         total_loss = 0.0
         live_state = {name: p for name, p in self.model.named_parameters()}
         for worker in order:
             # The worker computes its gradient against a stale snapshot.
             stale = self._snapshots[int(self.rng.integers(0, len(self._snapshots)))]
             live_values = {name: p.data for name, p in live_state.items()}
-            for name, p in live_state.items():
-                p.data = stale[name].copy()
+            self._load_stale(live_state, stale)
             self.model.zero_grad()
             loss = self.loss_fn(self.model, shards[worker])
             loss.backward()
@@ -159,7 +195,6 @@ class AsynchronousDataParallel:
             for name, p in live_state.items():
                 p.data = live_values[name]
             self.optimizer.step()
-            self._snapshots.append(self._snapshot())
-            self._snapshots = self._snapshots[-(self.max_staleness + 1):]
+            self._push_snapshot()
         self.model.zero_grad()
         return total_loss / self.num_workers

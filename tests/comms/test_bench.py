@@ -1,0 +1,75 @@
+"""bench-comms payload structure and core-aware gate policy."""
+
+import pytest
+
+from repro.comms.bench import BENCH_SCHEMA, bench_comms, gate_failures
+
+
+@pytest.fixture(scope="module")
+def smoke_payload():
+    # Inline backend keeps module-scope benching cheap and process-free.
+    return bench_comms(smoke=True, workers=[2], algorithms=["flat", "ring"],
+                       steps=2, warmup=1, backend="inline")
+
+
+class TestPayload:
+    def test_schema_and_environment(self, smoke_payload):
+        assert smoke_payload["schema"] == BENCH_SCHEMA
+        assert smoke_payload["smoke"] is True
+        assert smoke_payload["backend"] == "inline"
+        assert smoke_payload["cpu_count"] >= 1
+        assert smoke_payload["workload"]["steps"] == 2
+
+    def test_rows_cover_the_sweep(self, smoke_payload):
+        rows = smoke_payload["results"]
+        assert {(r["workers"], r["algorithm"]) for r in rows} == \
+            {(2, "flat"), (2, "ring")}
+        for row in rows:
+            assert row["step_seconds"] > 0
+            assert row["baseline_step_seconds"] > 0
+            assert row["speedup"] == pytest.approx(
+                row["baseline_step_seconds"] / row["step_seconds"])
+            assert row["bit_identical_vs_sync"] is True
+
+    def test_checks_summarize_rows(self, smoke_payload):
+        checks = smoke_payload["checks"]
+        assert checks["bit_identical"] is True
+        assert set(checks["best_speedup_by_workers"]) == {"2"}
+
+
+class TestGates:
+    def _payload(self, *, cpu_count, bit_identical=True, speedup=2.0):
+        return {
+            "schema": BENCH_SCHEMA,
+            "cpu_count": cpu_count,
+            "results": [{
+                "workers": 2, "algorithm": "flat",
+                "bucket_bytes": 256 * 1024, "backend": "process",
+                "step_seconds": 1.0, "baseline_step_seconds": speedup,
+                "speedup": speedup, "bit_identical_vs_sync": bit_identical,
+            }],
+            "checks": {
+                "bit_identical": bit_identical,
+                "best_speedup_by_workers": {"2": speedup},
+            },
+        }
+
+    def test_clean_payload_passes(self):
+        assert gate_failures(self._payload(cpu_count=4),
+                             min_speedup=1.0) == []
+
+    def test_divergence_is_always_fatal(self):
+        # Even on a single-core host where the speedup gate is waived.
+        failures = gate_failures(self._payload(cpu_count=1,
+                                               bit_identical=False))
+        assert any("diverge" in f for f in failures)
+
+    def test_speedup_gate_enforced_with_enough_cores(self):
+        failures = gate_failures(self._payload(cpu_count=4, speedup=0.6),
+                                 min_speedup=1.0)
+        assert any("speedup" in f for f in failures)
+
+    def test_speedup_gate_waived_on_single_core(self):
+        # One core cannot show parallel speedup; correctness still gated.
+        assert gate_failures(self._payload(cpu_count=1, speedup=0.3),
+                             min_speedup=1.0) == []

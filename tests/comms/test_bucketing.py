@@ -1,0 +1,136 @@
+"""Bucket layout determinism and the grad-hook bucket writer."""
+
+import numpy as np
+import pytest
+
+from repro.comms.bucketing import BucketLayout, BucketWriter, assign_buckets
+from repro.framework.module import Module, Parameter
+from repro.framework.tensor import Tensor
+
+
+def _params(*sizes, dtype=np.float64):
+    return [Parameter(np.arange(s, dtype=dtype) + i)
+            for i, s in enumerate(sizes)]
+
+
+class TestAssignBuckets:
+    def test_reverse_registration_order(self):
+        params = _params(4, 4, 4)
+        buckets = assign_buckets(params, bucket_bytes=10**6)
+        # One bucket, filled back-to-front: the last registered parameter
+        # (whose gradient finalizes first in backward) sits at offset 0.
+        assert len(buckets) == 1
+        assert [s.index for s in buckets[0].slots] == [2, 1, 0]
+        assert buckets[0].slots[0].offset == 0
+
+    def test_capacity_splits_buckets(self):
+        params = _params(4, 4, 4)  # 32 bytes each at float64
+        buckets = assign_buckets(params, bucket_bytes=64)
+        assert [b.size for b in buckets] == [8, 4]
+
+    def test_oversized_param_gets_own_bucket(self):
+        params = _params(100, 2)
+        buckets = assign_buckets(params, bucket_bytes=64)
+        assert [b.size for b in buckets] == [2, 100]
+
+    def test_dtype_change_forces_new_bucket(self):
+        params = [Parameter(np.zeros(4, dtype=np.float32)),
+                  Parameter(np.zeros(4, dtype=np.float64))]
+        buckets = assign_buckets(params, bucket_bytes=10**6)
+        assert len(buckets) == 2
+        assert {b.dtype for b in buckets} == {np.dtype(np.float32),
+                                              np.dtype(np.float64)}
+
+    def test_layout_is_deterministic(self):
+        params = _params(3, 17, 5, 64, 1)
+        a = BucketLayout(params, 128)
+        b = BucketLayout(params, 128)
+        assert [(s.index, s.bucket, s.offset) for bk in a.buckets for s in bk.slots] == \
+               [(s.index, s.bucket, s.offset) for bk in b.buckets for s in bk.slots]
+        assert a.total_elements == sum(p.data.size for p in params)
+
+    def test_bad_capacity_raises(self):
+        with pytest.raises(ValueError, match="positive"):
+            assign_buckets(_params(4), bucket_bytes=0)
+
+
+class _TwoHead(Module):
+    """y = (x*w1).sum() or (x*w2).sum() — one head stays grad-less."""
+
+    def __init__(self):
+        super().__init__()
+        self.w1 = Parameter(np.ones(4))
+        self.w2 = Parameter(np.ones(4))
+
+    def forward(self, x: Tensor, head: int) -> Tensor:
+        w = self.w1 if head == 1 else self.w2
+        return (x * w).sum()
+
+
+class TestBucketWriter:
+    def test_grads_land_in_slots_and_buckets_complete(self):
+        model = _TwoHead()
+        layout = BucketLayout(model.parameters(), bucket_bytes=16)  # 1 param per bucket
+        buffers = layout.allocate()
+        ready: list[int] = []
+        writer = BucketWriter(layout, buffers, ready.append)
+
+        writer.arm()
+        x = Tensor(np.arange(4.0), requires_grad=True)
+        loss = model(x, head=1) + model(x, head=2)
+        loss.backward()
+        missing = writer.flush_missing()
+
+        assert missing == []
+        assert sorted(ready) == [0, 1]
+        for i, p in enumerate(model.parameters()):
+            slot = layout.slots[i]
+            assert np.array_equal(layout.slot_view(buffers, slot),
+                                  p.grad.reshape(-1))
+
+    def test_flush_missing_zero_fills_untouched_params(self):
+        model = _TwoHead()
+        layout = BucketLayout(model.parameters(), bucket_bytes=16)
+        buffers = layout.allocate()
+        for buf in buffers:
+            buf[:] = 99.0  # stale garbage from a previous step
+        ready: list[int] = []
+        writer = BucketWriter(layout, buffers, ready.append)
+
+        writer.arm()
+        loss = model(Tensor(np.arange(4.0), requires_grad=True), head=1)
+        loss.backward()
+        missing = writer.flush_missing()
+
+        assert [s.index for s in missing] == [1]  # w2 never got a grad
+        assert sorted(ready) == [0, 1]  # flush completes the pending bucket
+        assert np.array_equal(layout.slot_view(buffers, layout.slots[1]),
+                              np.zeros(4))
+
+    def test_unarmed_writer_ignores_backward(self):
+        model = _TwoHead()
+        layout = BucketLayout(model.parameters(), bucket_bytes=10**6)
+        buffers = layout.allocate()
+        ready: list[int] = []
+        BucketWriter(layout, buffers, ready.append)  # never armed
+
+        loss = model(Tensor(np.arange(4.0), requires_grad=True), head=1)
+        loss.backward()
+        assert ready == []
+        assert np.array_equal(buffers[0], np.zeros_like(buffers[0]))
+
+    def test_close_detaches_hooks(self):
+        model = _TwoHead()
+        layout = BucketLayout(model.parameters(), bucket_bytes=10**6)
+        writer = BucketWriter(layout, layout.allocate())
+        writer.close()
+        writer.arm()
+        loss = model(Tensor(np.arange(4.0), requires_grad=True), head=1)
+        loss.backward()
+        assert writer.flush_missing() != []  # nothing was written
+
+    def test_buffer_size_mismatch_raises(self):
+        model = _TwoHead()
+        layout = BucketLayout(model.parameters(), bucket_bytes=10**6)
+        with pytest.raises(ValueError, match="do not match layout"):
+            BucketWriter(layout, [np.zeros(3)])

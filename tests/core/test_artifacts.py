@@ -133,3 +133,38 @@ class TestCheckLogText:
         strict = dataclasses.replace(FAKE_SPEC, quality_threshold=2.0)
         problems = check_log_text(self.good_log(), strict)
         assert any("below target" in p for p in problems)
+
+
+class TestRunResultMetricsRoundtrip:
+    """The metrics snapshot rides in the result header for `repro stats`."""
+
+    def _run_with_metrics(self):
+        from repro.telemetry import Telemetry
+
+        clock = FakeClock()
+        bench = FakeBenchmark(clock=clock)
+        runner = BenchmarkRunner(clock=clock)
+        telemetry = Telemetry(clock=clock)
+        with telemetry.activate():
+            telemetry.metrics.counter("allreduce_elements").inc(1000)
+            telemetry.metrics.counter("allreduce_bytes").inc(8000)
+            return runner.run(bench, seed=0, telemetry=telemetry)
+
+    def test_metrics_survive_save_load(self, tmp_path):
+        from repro.core.artifacts import load_run_result, save_run_result
+
+        run = self._run_with_metrics()
+        path = save_run_result(tmp_path / "result_0.txt", run)
+        loaded = load_run_result(run.benchmark, path)
+        assert loaded.telemetry is not None
+        assert loaded.telemetry.metrics["allreduce_elements"]["value"] == 1000
+        assert loaded.telemetry.metrics["allreduce_bytes"]["value"] == 8000
+
+    def test_runs_without_telemetry_load_as_none(self, tmp_path):
+        from repro.core.artifacts import load_run_result, save_run_result
+
+        clock = FakeClock()
+        runner = BenchmarkRunner(clock=clock)
+        run = runner.run(FakeBenchmark(clock=clock), seed=0)
+        path = save_run_result(tmp_path / "result_0.txt", run)
+        assert load_run_result(run.benchmark, path).telemetry is None

@@ -211,3 +211,67 @@ class TestDataLoaderEpochSemantics:
     def test_invalid_batch_size(self):
         with pytest.raises(ValueError):
             DataLoader(ArrayDataset(np.arange(4)), 0)
+
+
+class TestDataLoaderPrefetch:
+    """Background prefetch must be invisible to batch contents and RNG."""
+
+    def _collect(self, **kwargs):
+        ds = ArrayDataset(np.arange(23.0), np.arange(23) % 3)
+        loader = DataLoader(ds, batch_size=5, seed=9, **kwargs)
+        epochs = []
+        for _ in range(2):
+            epochs.append([tuple(np.array(a, copy=True) for a in b)
+                           for b in loader])
+        return epochs
+
+    def test_bit_identical_to_sequential_path(self):
+        ref = self._collect()
+        got = self._collect(prefetch=1)
+        assert len(got) == len(ref)
+        for ref_epoch, got_epoch in zip(ref, got):
+            assert len(got_epoch) == len(ref_epoch)
+            for rb, gb in zip(ref_epoch, got_epoch):
+                for ra, ga in zip(rb, gb):
+                    np.testing.assert_array_equal(ra, ga)
+
+    def test_bit_identical_with_reuse_buffers(self):
+        ref = self._collect(drop_last=True)
+        got = self._collect(drop_last=True, reuse_buffers=True, prefetch=2)
+        for ref_epoch, got_epoch in zip(ref, got):
+            for rb, gb in zip(ref_epoch, got_epoch):
+                for ra, ga in zip(rb, gb):
+                    np.testing.assert_array_equal(ra, ga)
+
+    def test_bit_identical_with_augment_rng(self):
+        def aug(x, y, rng):
+            return x + rng.standard_normal(x.shape), y
+
+        ref = self._collect(augment=aug)
+        got = self._collect(augment=aug, prefetch=1)
+        for ref_epoch, got_epoch in zip(ref, got):
+            for rb, gb in zip(ref_epoch, got_epoch):
+                np.testing.assert_array_equal(rb[0], gb[0])
+
+    def test_abandonment_does_not_advance_epoch(self):
+        ds = ArrayDataset(np.arange(20))
+        loader = DataLoader(ds, batch_size=5, seed=3, prefetch=1)
+        it = iter(loader)
+        first = np.array(next(it), copy=True)
+        it.close()  # abandon mid-pass: producer thread is stopped and joined
+        assert loader.epoch == 0
+        replay = np.array(next(iter(loader)), copy=True)
+        np.testing.assert_array_equal(first, replay)
+
+    def test_producer_exception_propagates(self):
+        def bad_augment(x, rng):
+            raise RuntimeError("augment exploded")
+
+        ds = ArrayDataset(np.arange(10.0))
+        loader = DataLoader(ds, batch_size=5, augment=bad_augment, prefetch=1)
+        with pytest.raises(RuntimeError, match="augment exploded"):
+            list(loader)
+
+    def test_negative_prefetch_rejected(self):
+        with pytest.raises(ValueError, match="prefetch"):
+            DataLoader(ArrayDataset(np.arange(4)), batch_size=2, prefetch=-1)

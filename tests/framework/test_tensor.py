@@ -310,3 +310,50 @@ class TestHypothesisProperties:
         t = Tensor(data)
         np.testing.assert_allclose(t.max().data, data.max())
         np.testing.assert_allclose(t.sum(axis=0).data, data.sum(axis=0))
+
+
+class TestGradHooks:
+    """register_grad_hook: the attachment point for gradient bucketing."""
+
+    def test_hook_fires_once_with_final_grad(self):
+        x = Tensor(np.arange(3.0), requires_grad=True)
+        seen = []
+        x.register_grad_hook(lambda t: seen.append(t.grad.copy()))
+        # x is consumed twice; the hook must see the *accumulated* grad.
+        ((x * 2.0) + x).sum().backward()
+        assert len(seen) == 1
+        np.testing.assert_array_equal(seen[0], np.full(3, 3.0))
+
+    def test_remover_detaches_hook(self):
+        x = Tensor(np.arange(3.0), requires_grad=True)
+        seen = []
+        remove = x.register_grad_hook(lambda t: seen.append(t))
+        remove()
+        x.sum().backward()
+        assert seen == []
+
+    def test_untraversed_tensor_never_fires(self):
+        x = Tensor(np.arange(3.0), requires_grad=True)
+        other = Tensor(np.arange(3.0), requires_grad=True)
+        seen = []
+        other.register_grad_hook(lambda t: seen.append(t))
+        x.sum().backward()
+        assert seen == []
+        assert other.grad is None
+
+    def test_fires_every_backward_pass(self):
+        x = Tensor(np.arange(3.0), requires_grad=True)
+        count = []
+        x.register_grad_hook(lambda t: count.append(1))
+        for _ in range(3):
+            x.zero_grad()
+            x.sum().backward()
+        assert len(count) == 3
+
+    def test_multiple_hooks_fire_in_registration_order(self):
+        x = Tensor(np.arange(3.0), requires_grad=True)
+        order = []
+        x.register_grad_hook(lambda t: order.append("a"))
+        x.register_grad_hook(lambda t: order.append("b"))
+        x.sum().backward()
+        assert order == ["a", "b"]

@@ -204,3 +204,26 @@ class TestSpecInvariants:
     def test_registry_names_are_specs_names(self):
         for name in REGISTRY:
             assert create_benchmark(name).spec.name == name
+
+
+class TestRecommendationDataParallel:
+    """The dp_workers hyperparameter routes training through ShardedDataParallel."""
+
+    def test_dp_session_trains_and_algorithms_agree(self):
+        states = []
+        for algo in ("flat", "ring"):
+            bench, sess = _short_session(
+                "recommendation", dp_workers=2, dp_algorithm=algo)
+            try:
+                sess.run_epoch(0)
+                assert sess.evaluate() >= 0.0
+                states.append({k: v.copy()
+                               for k, v in sess.model.state_dict().items()})
+            finally:
+                sess.close()
+        for name in states[0]:
+            np.testing.assert_array_equal(states[0][name], states[1][name])
+
+    def test_indivisible_batch_rejected(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            _short_session("recommendation", dp_workers=3)  # 256 % 3 != 0
