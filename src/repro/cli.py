@@ -17,6 +17,14 @@ Commands mirror how the MLPerf artifacts are used in practice:
   down to individual training steps);
 - ``stats`` — print the per-benchmark time-decomposition table for saved
   submissions (where the wall-clock went: init/create/train/eval);
+  ``--series`` adds the per-run sampled trajectories (throughput, eval
+  quality, arena hit rate) with ASCII sparklines;
+- ``monitor`` — a refreshable terminal view of a campaign directory,
+  live or post-mortem, built purely from the journal + heartbeat + event
+  files (per-job state, progress, retries, ETA, stall detection);
+- ``bench-diff`` — gate a fresh ``BENCH_*.json`` report against a
+  committed baseline with per-metric tolerance bands; non-zero exit on
+  regression (CI's perf gate);
 - ``hp-table`` — print the §6 scale → hyperparameters recommendation table;
 - ``simulate`` — print the Figure 4/5 round-simulation summaries.
 """
@@ -25,6 +33,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 import numpy as np
@@ -121,6 +130,40 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="per-benchmark time decomposition for saved submissions")
     stats.add_argument("submission_dirs", nargs="+",
                        help="submitter directories (from `run --save`)")
+    stats.add_argument("--series", action="store_true",
+                       help="also print the per-run sampled series "
+                            "(throughput, eval quality, arena hit rate, "
+                            "all-reduce traffic) with ASCII trend lines")
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="terminal view of a campaign directory (live or post-mortem): "
+             "per-job state, progress, retries, ETA, stall detection — built "
+             "purely from the journal, heartbeat, and event files")
+    monitor.add_argument("campaign_dir",
+                         help="a campaign directory (from `campaign --save`)")
+    monitor.add_argument("--stall-after", type=float, default=None,
+                         metavar="SECONDS",
+                         help="flag running jobs whose heartbeat is older "
+                              "than this as STALLED (default 30)")
+    monitor.add_argument("--watch", type=float, default=None, metavar="SECONDS",
+                         help="refresh every SECONDS until the campaign "
+                              "settles (default: render once and exit)")
+    monitor.add_argument("--events", type=int, default=6, metavar="N",
+                         help="how many recent events to tail (default 6; "
+                              "0 hides the tail)")
+
+    diff = sub.add_parser(
+        "bench-diff",
+        help="gate a fresh BENCH_*.json report against a committed baseline "
+             "(per-metric tolerance bands; non-zero exit on regression)")
+    diff.add_argument("report", help="the fresh report (e.g. from bench-* -o)")
+    diff.add_argument("baseline",
+                      help="the committed baseline (benchmarks/reports/...)")
+    diff.add_argument("--tolerance", action="append", default=[],
+                      metavar="METRIC=REL_TOL",
+                      help="override one gated metric's relative tolerance "
+                           "(e.g. --tolerance speedup=0.8); repeatable")
 
     hp = sub.add_parser("hp-table", help="print the scale->hyperparameters table (§6)")
     hp.add_argument("--chips", type=int, nargs="+", default=[1, 4, 16, 64])
@@ -343,6 +386,20 @@ def _cmd_campaign(args, out) -> int:
     print(render_campaign_summary(outcome.summary, outcome.scores,
                                   outcome.unscored), file=out)
 
+    # The same per-job table `repro monitor` renders, fed from the
+    # in-memory journal instead of files — one rendering path for both.
+    from dataclasses import asdict
+
+    from .telemetry import build_view, render_job_table
+
+    view = build_view(
+        job_records={key: asdict(rec) for key, rec in outcome.journal.jobs.items()},
+        planned_cells=[job.cell for job in outcome.plan.jobs],
+        now_s=0.0,
+    )
+    print(file=out)
+    print(render_job_table(view.jobs), file=out)
+
     if campaign_dir and outcome.submission is not None:
         base = save_submission(outcome.submission, campaign_dir)
         print(f"artifacts written to {base}", file=out)
@@ -417,7 +474,67 @@ def _cmd_stats(args, out) -> int:
         print("no runs found in the given submissions", file=out)
         return 1
     print(render_phase_table(rows), file=out)
+    if args.series:
+        from .telemetry import render_series_table
+
+        print(file=out)
+        print(render_series_table(runs_by_benchmark), file=out)
     return 0
+
+
+def _cmd_monitor(args, out) -> int:
+    from pathlib import Path
+
+    from .telemetry import load_monitor_view, render_monitor_view
+    from .telemetry.monitor import DEFAULT_STALL_AFTER_S
+
+    campaign_dir = Path(args.campaign_dir)
+    if not campaign_dir.is_dir():
+        print(f"no such campaign directory: {campaign_dir}", file=out)
+        return 2
+    stall_after = (DEFAULT_STALL_AFTER_S if args.stall_after is None
+                   else args.stall_after)
+
+    def refresh():
+        view = load_monitor_view(campaign_dir, stall_after_s=stall_after)
+        print(render_monitor_view(view, recent_events=args.events), file=out)
+        return view
+
+    view = refresh()
+    if args.watch:
+        import time as _time
+
+        while not view.settled:
+            _time.sleep(args.watch)
+            print(file=out)
+            view = refresh()
+    return 0 if not view.stalled_jobs else 1
+
+
+def _cmd_bench_diff(args, out) -> int:
+    from .telemetry import compare_reports, load_report
+
+    overrides = {}
+    for pair in args.tolerance:
+        metric, sep, raw = pair.partition("=")
+        if not sep:
+            print(f"bad --tolerance {pair!r}: expected METRIC=REL_TOL", file=out)
+            return 2
+        try:
+            overrides[metric] = float(raw)
+        except ValueError:
+            print(f"bad --tolerance {pair!r}: {raw!r} is not a number", file=out)
+            return 2
+    try:
+        current = load_report(args.report)
+        baseline = load_report(args.baseline)
+        report = compare_reports(current, baseline,
+                                 tolerance_overrides=overrides)
+    except (OSError, ValueError) as exc:
+        print(f"bench-diff: {exc}", file=out)
+        return 2
+    print(report.render(), file=out)
+    return 0 if report.ok else 1
 
 
 def _cmd_hp_table(args, out) -> int:
@@ -528,6 +645,8 @@ _COMMANDS = {
     "report": _cmd_report,
     "trace": _cmd_trace,
     "stats": _cmd_stats,
+    "monitor": _cmd_monitor,
+    "bench-diff": _cmd_bench_diff,
     "hp-table": _cmd_hp_table,
     "simulate": _cmd_simulate,
     "bench-kernels": _cmd_bench_kernels,
@@ -543,4 +662,9 @@ def main(argv: list[str] | None = None, out=None) -> int:
 
 
 if __name__ == "__main__":  # pragma: no cover
-    raise SystemExit(main())
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:
+        # Reader (e.g. `| head`) closed the pipe; not an error.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        raise SystemExit(0)

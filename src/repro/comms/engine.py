@@ -58,7 +58,7 @@ from ..framework.module import Module
 from ..framework.optim import Optimizer
 from ..framework.tensor import Tensor
 from ..systems.dataparallel import shard_batch
-from ..telemetry import current_metrics, current_tracer
+from ..telemetry import current_events, current_metrics, current_tracer
 from ..telemetry.metrics import COMMS_LATENCY_BUCKETS
 from .bucketing import DEFAULT_BUCKET_BYTES, BucketLayout, BucketWriter
 from .reducers import PARENT, Chunk, Reducer, make_reducer, reduce_chunk
@@ -148,6 +148,11 @@ class ShardedDataParallel:
             self._init_process_pool()
         else:
             self._init_inline()
+        current_events().publish(
+            "comms_engine_start", backend=self.backend,
+            algorithm=self.algorithm, num_workers=self.num_workers,
+            num_buckets=self.layout.num_buckets,
+        )
 
     # ------------------------------------------------------------------
     # Inline backend
@@ -521,6 +526,8 @@ class ShardedDataParallel:
                 self._finalizer()
         else:
             self._writer.close()
+        current_events().publish("comms_engine_stop", backend=self.backend,
+                                 broken=self._broken)
 
     def __enter__(self) -> "ShardedDataParallel":
         return self

@@ -24,7 +24,7 @@ from pathlib import Path
 
 from ..suite.base import BenchmarkSpec
 from ..telemetry import RunTelemetry
-from .mllog import Keys, MLLogger, parse_log_lines
+from .mllog import Keys, MLLogger, iter_log_lines, parse_log_lines
 from .review import ReviewReport, review_submission
 from .runner import RunResult
 from .submission import Category, Division, Submission, SystemDescription, SystemType
@@ -95,6 +95,9 @@ def save_run_result(path: str | Path, run: RunResult) -> Path:
             # (e.g. allreduce traffic) on reloaded runs; trace events are
             # reconstructible from the log and stay out of it.
             "metrics": run.telemetry.metrics if run.telemetry is not None else None,
+            # Per-run sampled series (throughput, eval quality, arena hit
+            # rate, ...) back `repro stats --series` on reloaded runs.
+            "series": run.telemetry.series if run.telemetry is not None else None,
         },
         sort_keys=True,
     )
@@ -146,9 +149,13 @@ def _parse_result_file(benchmark: str, path: Path) -> RunResult:
         raise ValueError(f"{path}: missing run header")
     header = json.loads(first[len("# repro-run "):])
     log_lines = [line for line in rest.splitlines() if line.strip()]
-    history = [float(e.value) for e in parse_log_lines(rest) if e.key == Keys.EVAL_ACCURACY]
+    # Streaming parse tolerates a truncated final log line, so a result
+    # file from a killed worker still reviews/reloads cleanly.
+    history = [float(e.value) for e in iter_log_lines(rest.splitlines())
+               if e.key == Keys.EVAL_ACCURACY]
     raw_breakdown = header.get("breakdown")
     raw_metrics = header.get("metrics")
+    raw_series = header.get("series")
     return RunResult(
         benchmark=benchmark,
         seed=int(header["seed"]),
@@ -160,7 +167,10 @@ def _parse_result_file(benchmark: str, path: Path) -> RunResult:
         quality_history=history,
         log_lines=log_lines,
         breakdown=TimingBreakdown(**raw_breakdown) if raw_breakdown else None,
-        telemetry=RunTelemetry(metrics=raw_metrics) if raw_metrics else None,
+        telemetry=(
+            RunTelemetry(metrics=raw_metrics or {}, series=raw_series or {})
+            if raw_metrics or raw_series else None
+        ),
     )
 
 

@@ -15,9 +15,11 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any
+from pathlib import Path
+from typing import Any, Iterable, Iterator
 
-__all__ = ["LogEvent", "MLLogger", "Keys", "parse_log_lines"]
+__all__ = ["LogEvent", "MLLogger", "Keys", "parse_log_lines",
+           "iter_log_lines", "iter_log_file"]
 
 _PREFIX = ":::MLLOG "
 
@@ -167,3 +169,42 @@ def _mllog_lines(lines) -> list[str]:
 def parse_log_lines(text: str) -> list[LogEvent]:
     """Parse a whole log file's text into events, skipping non-MLLOG lines."""
     return [LogEvent.from_line(line) for line in _mllog_lines(text.splitlines())]
+
+
+def iter_log_lines(lines: Iterable[str]) -> Iterator[LogEvent]:
+    """Stream-parse MLLOG records from an iterable of lines.
+
+    The streaming counterpart of :func:`parse_log_lines`, built for logs
+    that are still being written (or whose writer was killed): non-MLLOG
+    lines are skipped as usual, and a *final* line that starts like a
+    record but does not parse — the one artifact a crashed writer can
+    leave — is dropped instead of raising.  A malformed MLLOG line in the
+    middle of the stream is genuine corruption and still raises.
+    """
+    pending: str | None = None
+    for line in lines:
+        stripped = line.strip()
+        if not stripped.startswith(_PREFIX):
+            continue
+        if pending is not None:
+            # It had a successor, so it was a complete line: parse strictly.
+            yield LogEvent.from_line(pending)
+        pending = stripped
+    if pending is not None:
+        try:
+            yield LogEvent.from_line(pending)
+        except (json.JSONDecodeError, KeyError, ValueError):
+            pass  # truncated tail from a killed writer; tolerated
+
+
+def iter_log_file(path: str | Path) -> Iterator[LogEvent]:
+    """Stream events from a log file on disk, tolerating a truncated tail.
+
+    A missing file is an empty stream — the run may simply not have
+    started writing yet.
+    """
+    path = Path(path)
+    if not path.is_file():
+        return
+    with open(path, encoding="utf-8", errors="replace") as fh:
+        yield from iter_log_lines(fh)

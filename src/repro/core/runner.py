@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from ..suite.base import Benchmark
-from ..telemetry import RunTelemetry, Telemetry
+from ..telemetry import RunSeries, RunTelemetry, Telemetry
 from .mllog import Keys, MLLogger
 from .timing import Clock, TimingBreakdown, TrainingTimer, WallClock, \
     MODEL_CREATION_EXCLUSION_CAP_S
@@ -153,21 +153,24 @@ class BenchmarkRunner:
         logger.event(Keys.SEED, seed)
         logger.hyperparameters(hp)
 
+        series = RunSeries() if tele.enabled else None
         with tele.activate():
             try:
                 reached, quality, history, epochs_run = self._execute(
                     benchmark, spec, seed, hp, max_epochs, logger, timer, tele,
-                    deadline,
+                    deadline, series,
                 )
             except Exception as exc:
                 if timer.state not in ("stopped", "aborted"):
                     timer.abort()
                 logger.event(Keys.RUN_STOP, status="error", error=type(exc).__name__)
+                tele.events.publish("run_stop", benchmark=spec.name, seed=seed,
+                                    status="error", error=type(exc).__name__)
                 raise RunFailure(
                     spec.name, seed, exc,
                     log_lines=logger.to_lines(),
                     breakdown=timer.breakdown(),
-                    telemetry=self._snapshot(tele),
+                    telemetry=self._snapshot(tele, series),
                 ) from exc
 
         return RunResult(
@@ -181,14 +184,15 @@ class BenchmarkRunner:
             quality_history=history,
             log_lines=logger.to_lines(),
             breakdown=timer.breakdown(),
-            telemetry=self._snapshot(tele),
+            telemetry=self._snapshot(tele, series),
         )
 
     def _execute(self, benchmark, spec, seed, hp, max_epochs, logger, timer, tele,
-                 deadline=None):
+                 deadline=None, series=None):
         """The §3.2.1 phase sequence, instrumented with spans and metrics."""
         tracer = tele.tracer
         metrics = tele.metrics
+        events = tele.events
         samples = metrics.counter("samples_seen")
 
         with tracer.span(f"run:{spec.name}", seed=seed):
@@ -208,6 +212,8 @@ class BenchmarkRunner:
 
             timer.run_start()
             logger.event(Keys.RUN_START)
+            events.publish("run_start", benchmark=spec.name, seed=seed)
+            run_t0 = self.clock.now()
 
             cap = max_epochs if max_epochs is not None else spec.max_epochs
             reached = False
@@ -237,10 +243,19 @@ class BenchmarkRunner:
                     if epoch_samples:
                         stats["samples"] = epoch_samples
                     logger.event(Keys.TRACKED_STATS, stats, epoch_num=epoch)
+                    eps = None
                     if epoch_dt > 0 and epoch_samples > 0:
                         eps = epoch_samples / epoch_dt
                         metrics.gauge("examples_per_second").set(eps)
                         logger.event(Keys.THROUGHPUT, eps, epoch_num=epoch)
+                    events.publish("epoch", epoch=epoch,
+                                   epoch_seconds=epoch_dt,
+                                   samples=epoch_samples,
+                                   samples_total=samples.value)
+                    if series is not None:
+                        self._sample_series(series, metrics, epoch,
+                                            self.clock.now() - run_t0,
+                                            epoch_dt, eps)
                     epochs_run = epoch
                     if epoch % self.eval_every == 0 or epoch == cap:
                         logger.event(Keys.EVAL_START, epoch_num=epoch)
@@ -254,6 +269,11 @@ class BenchmarkRunner:
                             **session.eval_details()
                         )
                         logger.event(Keys.EVAL_STOP, epoch_num=epoch)
+                        events.publish("eval", epoch=epoch, quality=quality)
+                        if series is not None:
+                            series.record("eval_quality", quality,
+                                          t_s=self.clock.now() - run_t0,
+                                          epoch=epoch)
                         if quality >= spec.quality_threshold:
                             reached = True
                             break
@@ -263,13 +283,38 @@ class BenchmarkRunner:
             timer.run_stop()
             logger.event(Keys.RUN_STOP, status="success" if reached else "aborted")
             logger.event(Keys.TARGET_REACHED, reached)
+            events.publish("run_stop", benchmark=spec.name, seed=seed,
+                           status="success" if reached else "aborted",
+                           epochs=epochs_run, quality=quality)
         return reached, quality, history, epochs_run
 
     @staticmethod
-    def _snapshot(tele: Telemetry) -> RunTelemetry | None:
+    def _sample_series(series, metrics, epoch: int, t_s: float,
+                       epoch_dt: float, eps: float | None) -> None:
+        """One epoch-boundary sample of every standard series.
+
+        Arena and all-reduce instruments exist only when the run exercised
+        those subsystems; sampling is conditional on presence so runs that
+        never touch them carry no empty series.
+        """
+        series.record("epoch_seconds", epoch_dt, t_s=t_s, epoch=epoch)
+        if eps is not None:
+            series.record("examples_per_second", eps, t_s=t_s, epoch=epoch)
+        if "kernel_arena_hit_rate" in metrics:
+            series.record("kernel_arena_hit_rate",
+                          metrics.gauge("kernel_arena_hit_rate").value,
+                          t_s=t_s, epoch=epoch)
+        if "allreduce_bytes" in metrics:
+            series.record("allreduce_bytes",
+                          metrics.counter("allreduce_bytes").value,
+                          t_s=t_s, epoch=epoch)
+
+    @staticmethod
+    def _snapshot(tele: Telemetry, series=None) -> RunTelemetry | None:
         if not tele.enabled:
             return None
         return RunTelemetry(
             trace_events=tele.tracer.chrome_events(),
             metrics=tele.metrics.snapshot(),
+            series=series.to_payload() if series else {},
         )

@@ -23,7 +23,7 @@ parent-side with ``pid = seed`` so one Chrome trace shows all workers.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Mapping
 
 from ..core.reporting import CampaignSummary
@@ -36,7 +36,13 @@ from ..core.submission import (
     SystemDescription,
     SystemType,
 )
-from ..telemetry import MetricsRegistry, RunTelemetry, merged_run_telemetry
+from ..telemetry import (
+    EventBus,
+    EventLog,
+    MetricsRegistry,
+    RunTelemetry,
+    merged_run_telemetry,
+)
 from .journal import CampaignJournal, JobRecord
 from .plan import CampaignPlan, CampaignSpec, plan_campaign
 from .supervise import RetryPolicy
@@ -123,6 +129,7 @@ def run_campaign(
     wall_clock: Callable[[], float] = time.perf_counter,
     benchmark_specs: Mapping[str, Any] | None = None,
     system: SystemDescription | None = None,
+    event_clock: Callable[[], float] = time.time,
 ) -> CampaignOutcome:
     """Execute a campaign; see the module docstring for the pipeline.
 
@@ -131,6 +138,13 @@ def run_campaign(
     injectable together so tests can drive fake benchmarks on fake clocks.
     ``sleeper`` receives every backoff delay (inject a recorder to make
     retry pacing assertable without real sleeps).
+
+    When the journal has a directory, the engine maintains the live
+    observability streams: its own lifecycle events append to
+    ``<dir>/events/campaign.jsonl`` and every dispatched job carries
+    ``stream_dir`` so workers write per-job event/heartbeat files there —
+    the sole inputs of ``repro monitor``.  ``event_clock`` stamps those
+    records (epoch seconds by default, a fake clock in tests).
     """
     if benchmark_specs is None:
         from ..suite import REGISTRY, create_benchmark
@@ -155,6 +169,9 @@ def run_campaign(
             "backoff_base_s": policy.backoff_base_s,
             "backoff_cap_s": policy.backoff_cap_s,
         },
+        # The full plan, so the monitor knows about cells that have not
+        # produced a journal record or heartbeat yet (still "pending").
+        "planned_cells": [[job.benchmark, job.seed] for job in plan.jobs],
     }
     if resume:
         if journal_dir is None:
@@ -163,6 +180,9 @@ def run_campaign(
         journal.campaign = campaign_meta
     else:
         journal = CampaignJournal(journal_dir, campaign=campaign_meta)
+    # Persist the metadata (incl. planned_cells) before any job runs, so a
+    # campaign killed mid-wave still shows its unstarted cells as pending.
+    journal.flush()
 
     # -- resume: reload terminal cells, schedule only the remainder ----------
     results_by_cell: dict[tuple[str, int], RunResult] = {}
@@ -178,11 +198,24 @@ def run_campaign(
         else:
             wave.append(job)
 
+    # -- live streams: campaign event log + per-job stream directories -------
+    events = EventBus(clock=event_clock)
+    campaign_log: EventLog | None = None
+    if journal.directory is not None:
+        campaign_log = EventLog(journal.directory / "events" / "campaign.jsonl")
+        events.subscribe(campaign_log.write)
+    events.publish("campaign_start",
+                   benchmarks=list(spec.benchmarks),
+                   planned_cells=len(plan.jobs),
+                   resumed_cells=resumed_cells)
+
     # -- schedule + supervise, journaling after every completion -------------
     executed = retries = reached = quality_misses = faults = timeouts = 0
     total_ttt = 0.0
     backoffs_by_cell: dict[tuple[str, int], list[float]] = {}
     outcome_telemetry: list[RunTelemetry | None] = []
+    if journal.directory is not None:
+        wave = [replace(job, stream_dir=str(journal.directory)) for job in wave]
     while wave:
         metrics.counter("campaign_jobs_scheduled").inc(len(wave))
         next_wave: list = []
@@ -215,6 +248,12 @@ def run_campaign(
                 else:
                     faults += 1
             journal.record(record, outcome.result)
+            events.publish("job_finished",
+                           benchmark=outcome.job.benchmark,
+                           seed=outcome.job.seed,
+                           status=outcome.status,
+                           attempt=outcome.job.attempt,
+                           will_retry=will_retry and outcome.is_fault)
             if outcome.result is not None:
                 results_by_cell[outcome.job.cell] = outcome.result
                 total_ttt += outcome.result.time_to_train_s
@@ -223,6 +262,7 @@ def run_campaign(
             # waited at least its own delay.
             pause = max(wave_delays)
             metrics.counter("campaign_backoff_seconds").inc(pause)
+            events.publish("wave_backoff", pause_s=pause, retries=len(next_wave))
             sleeper(pause)
         wave = next_wave
 
@@ -275,6 +315,13 @@ def run_campaign(
         wall_clock_s=wall_clock() - started,
         total_ttt_s=total_ttt,
     )
+
+    events.publish("campaign_stop",
+                   executed=executed, reached=reached, faults=faults,
+                   timeouts=timeouts, quality_misses=quality_misses,
+                   retries=retries, wall_clock_s=summary.wall_clock_s)
+    if campaign_log is not None:
+        campaign_log.close()
 
     return CampaignOutcome(
         plan=plan,

@@ -36,6 +36,12 @@ class JobSpec:
     overrides: tuple[tuple[str, Any], ...] = ()
     max_epochs: int | None = None
     timeout_s: float | None = None
+    # Stable position in the plan — workers use it as the trace/event pid
+    # so merged campaign traces keep one process row per cell.
+    ordinal: int = 0
+    # Campaign journal directory for live event/heartbeat streams; None
+    # (e.g. plain `repro run`) disables stream files entirely.
+    stream_dir: str | None = None
 
     @property
     def cell(self) -> tuple[str, int]:
@@ -117,6 +123,7 @@ def plan_campaign(spec: CampaignSpec, benchmark_specs: Mapping[str, Any]) -> Cam
                 f"{benchmark}: campaign has {count} run(s) but §3.2.2 requires "
                 f"{required} — the result will not be scoreable as official"
             )
+        base = len(plan.jobs)
         plan.jobs.extend(
             JobSpec(
                 benchmark=benchmark,
@@ -124,6 +131,7 @@ def plan_campaign(spec: CampaignSpec, benchmark_specs: Mapping[str, Any]) -> Cam
                 overrides=overrides,
                 max_epochs=spec.max_epochs,
                 timeout_s=spec.timeout_s,
+                ordinal=base + seed,
             )
             for seed in range(count)
         )

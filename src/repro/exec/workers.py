@@ -1,11 +1,18 @@
 """Job execution: one worker function, two pools.
 
 :func:`execute_job` is the single unit of work — build the benchmark,
-run it under the timing rules with telemetry ``pid = seed``, classify the
-outcome.  It is a module-level function over picklable dataclasses so the
-exact same code runs in-process (:class:`SequentialExecutor`, the
+run it under the timing rules with telemetry ``pid = ordinal``, classify
+the outcome.  It is a module-level function over picklable dataclasses so
+the exact same code runs in-process (:class:`SequentialExecutor`, the
 deterministic default every test leans on) or in a worker process
 (:class:`MultiprocessExecutor`).
+
+When the job carries a ``stream_dir``, the worker also maintains the live
+side of observability: every published event is appended to a per-job
+JSONL stream and folded into a heartbeat file (pid, epoch, step, last
+quality snapshot) that the parent's monitor reads while the job runs.
+Streams are plain files, so they survive the worker being killed — at
+worst the event log ends in one truncated line, which readers tolerate.
 
 Both executors yield :class:`JobOutcome` objects **as jobs finish** so the
 engine can journal after every completion; the multiprocess pool therefore
@@ -25,10 +32,12 @@ import multiprocessing
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator
 
+from pathlib import Path
+
 from ..core.runner import BenchmarkRunner, RunFailure, RunResult, RunTimeout
 from ..core.timing import Clock
 from ..suite.base import Benchmark
-from ..telemetry import RunTelemetry, Telemetry
+from ..telemetry import EventLog, HeartbeatWriter, RunTelemetry, Telemetry
 from .plan import JobSpec
 
 __all__ = ["JobOutcome", "execute_job", "SequentialExecutor",
@@ -63,40 +72,74 @@ def execute_job(
     job: JobSpec,
     benchmark_factory: BenchmarkFactory | None = None,
     clock: Clock | None = None,
+    events_clock=None,
 ) -> JobOutcome:
     """Run one job attempt and classify its outcome.
 
     The default factory resolves the benchmark from the suite registry —
     the only thing a spawned worker needs is the job spec.  Telemetry is
-    always collected with ``pid = seed`` (the cell seed, not the reseeded
-    attempt seed) so merged campaign traces keep one process row per cell.
+    always collected with ``pid = ordinal`` (the cell's position in the
+    plan, not the reseeded attempt seed) so merged campaign traces keep
+    one named process row per cell.  ``events_clock`` defaults to epoch
+    seconds — the only clock comparable across worker processes — and is
+    injectable so stream files are deterministic under a fake clock.
     """
     if benchmark_factory is None:
         from ..suite import create_benchmark as benchmark_factory
 
     benchmark = benchmark_factory(job.benchmark)
     runner = BenchmarkRunner(clock=clock)
-    telemetry = Telemetry(clock=runner.clock, pid=job.seed)
+    telemetry = Telemetry(
+        clock=runner.clock,
+        pid=job.ordinal,
+        process_name=f"{job.benchmark}/seed{job.seed}",
+        thread_name="runner",
+        events_clock=events_clock,
+    )
+
+    log: EventLog | None = None
+    heartbeat: HeartbeatWriter | None = None
+    if job.stream_dir:
+        stem = f"{job.benchmark}_seed{job.seed}"
+        stream_root = Path(job.stream_dir)
+        log = EventLog(stream_root / "events" / f"{stem}.jsonl")
+        telemetry.events.subscribe(log.write)
+        heartbeat = HeartbeatWriter(
+            stream_root / "heartbeats" / f"{stem}.json",
+            pid=job.ordinal, benchmark=job.benchmark, seed=job.seed,
+            attempt=job.attempt, clock=telemetry.events.clock,
+        )
+        telemetry.events.subscribe(heartbeat.on_event)
+        heartbeat.beat(status="running")
+
     try:
-        result = runner.run(
-            benchmark,
-            seed=job.run_seed,
-            hyperparameter_overrides=dict(job.overrides) or None,
-            max_epochs=job.max_epochs,
-            telemetry=telemetry,
-            deadline_s=job.timeout_s,
-        )
-    except RunFailure as failure:
-        status = "timeout" if isinstance(failure.cause, RunTimeout) else "fault"
-        return JobOutcome(
-            job=job,
-            status=status,
-            error=f"{type(failure.cause).__name__}: {failure.cause}",
-            error_type=type(failure.cause).__name__,
-            failure_telemetry=failure.telemetry,
-        )
-    status = "reached" if result.reached_target else "quality_miss"
-    return JobOutcome(job=job, status=status, result=result)
+        try:
+            result = runner.run(
+                benchmark,
+                seed=job.run_seed,
+                hyperparameter_overrides=dict(job.overrides) or None,
+                max_epochs=job.max_epochs,
+                telemetry=telemetry,
+                deadline_s=job.timeout_s,
+            )
+        except RunFailure as failure:
+            status = "timeout" if isinstance(failure.cause, RunTimeout) else "fault"
+            if heartbeat is not None:
+                heartbeat.beat(status=status)
+            return JobOutcome(
+                job=job,
+                status=status,
+                error=f"{type(failure.cause).__name__}: {failure.cause}",
+                error_type=type(failure.cause).__name__,
+                failure_telemetry=failure.telemetry,
+            )
+        status = "reached" if result.reached_target else "quality_miss"
+        if heartbeat is not None:
+            heartbeat.beat(status=status, quality=result.quality)
+        return JobOutcome(job=job, status=status, result=result)
+    finally:
+        if log is not None:
+            log.close()
 
 
 class SequentialExecutor:
@@ -110,13 +153,15 @@ class SequentialExecutor:
     kind = "sequential"
 
     def __init__(self, benchmark_factory: BenchmarkFactory | None = None,
-                 clock: Clock | None = None):
+                 clock: Clock | None = None, events_clock=None):
         self.benchmark_factory = benchmark_factory
         self.clock = clock
+        self.events_clock = events_clock
 
     def run(self, jobs: Iterable[JobSpec]) -> Iterator[JobOutcome]:
         for job in jobs:
-            yield execute_job(job, self.benchmark_factory, self.clock)
+            yield execute_job(job, self.benchmark_factory, self.clock,
+                              self.events_clock)
 
 
 class MultiprocessExecutor:

@@ -190,7 +190,9 @@ def record_arena_gauges(metrics=None) -> dict[str, float]:
 
     Called by the suite's ``run_epoch`` implementations at epoch boundaries
     so per-run telemetry shows allocation pressure alongside throughput.
-    Returns the stats dict (also handy for benches).
+    The same snapshot is published as an ``arena_stats`` event on the
+    ambient bus, so live streams carry allocation pressure too.  Returns
+    the stats dict (also handy for benches).
     """
     ws = arena()
     if metrics is None:
@@ -201,4 +203,7 @@ def record_arena_gauges(metrics=None) -> dict[str, float]:
     metrics.gauge("kernel_arena_hit_rate").set(stats["hit_rate"])
     metrics.gauge("kernel_arena_live_borrows").set(stats["live"])
     metrics.gauge("kernel_arena_pooled_bytes").set(stats["pooled_bytes"])
+    from ..telemetry import current_events
+
+    current_events().publish("arena_stats", arena=ws.name, **stats)
     return stats

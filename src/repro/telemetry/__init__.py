@@ -11,7 +11,17 @@ measurement substrate for that decomposition:
 - :mod:`repro.telemetry.metrics` — counters, gauges, and fixed-bucket
   histograms in a :class:`MetricsRegistry` with a text summary renderer;
 - :mod:`repro.telemetry.profile` — the :class:`Instrumented` module
-  wrapper and phase decomposition of structured logs.
+  wrapper and phase decomposition of structured logs;
+- :mod:`repro.telemetry.events` — the live side: an event bus with
+  append-only JSONL :class:`EventLog` sinks and per-job heartbeat files,
+  crash-tolerant on read;
+- :mod:`repro.telemetry.timeseries` — per-run sampled series
+  (throughput, eval quality, arena hit rate, all-reduce bytes) recorded
+  at epoch/eval boundaries and persisted in run artifacts;
+- :mod:`repro.telemetry.monitor` — the ``repro monitor`` view, built
+  purely from a campaign directory's journal + heartbeat + event files;
+- :mod:`repro.telemetry.regress` — schema-aware ``BENCH_*.json``
+  comparison with per-metric tolerance bands (``repro bench-diff``).
 
 Telemetry is **zero-overhead by default**: the ambient tracer and
 registry are disabled no-ops until a :class:`Telemetry` session is
@@ -28,6 +38,37 @@ from .trace import (
     Span,
     Tracer,
     chrome_trace_from_intervals,
+    metadata_events,
+)
+from .events import (
+    Event,
+    EventBus,
+    EventLog,
+    Heartbeat,
+    HeartbeatWriter,
+    NULL_EVENTS,
+    merge_event_streams,
+    read_events,
+    read_heartbeat,
+)
+from .timeseries import (
+    RunSeries,
+    SeriesPoint,
+    render_series_table,
+)
+from .monitor import (
+    JobView,
+    MonitorView,
+    build_view,
+    load_monitor_view,
+    render_job_table,
+    render_monitor_view,
+)
+from .regress import (
+    MetricSpec,
+    RegressionReport,
+    compare_reports,
+    load_report,
 )
 from .metrics import (
     Counter,
@@ -40,6 +81,7 @@ from .metrics import (
 from .context import (
     Telemetry,
     activate,
+    current_events,
     current_metrics,
     current_telemetry,
     current_tracer,
@@ -55,24 +97,48 @@ from .profile import (
 
 __all__ = [
     "Counter",
+    "Event",
+    "EventBus",
+    "EventLog",
     "Gauge",
+    "Heartbeat",
+    "HeartbeatWriter",
     "Histogram",
     "Instrumented",
+    "JobView",
+    "MetricSpec",
     "MetricsRegistry",
+    "MonitorView",
+    "NULL_EVENTS",
     "NULL_METRICS",
     "NULL_SPAN",
     "PhaseDecomposition",
+    "RegressionReport",
+    "RunSeries",
     "RunTelemetry",
+    "SeriesPoint",
     "Span",
     "Telemetry",
     "Tracer",
     "activate",
+    "build_view",
     "chrome_trace_from_intervals",
+    "compare_reports",
+    "current_events",
     "current_metrics",
     "current_telemetry",
     "current_tracer",
     "decompose_log_events",
+    "load_monitor_view",
+    "load_report",
+    "merge_event_streams",
     "merge_snapshots",
     "merged_run_telemetry",
+    "metadata_events",
+    "read_events",
+    "read_heartbeat",
+    "render_job_table",
+    "render_monitor_view",
+    "render_series_table",
     "trace_from_log_events",
 ]

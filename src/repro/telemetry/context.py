@@ -16,20 +16,33 @@ from __future__ import annotations
 import contextlib
 from contextvars import ContextVar
 
+from .events import EventBus
 from .metrics import NULL_METRICS, MetricsRegistry
 from .trace import Tracer
 
 __all__ = ["Telemetry", "activate", "current_telemetry", "current_tracer",
-           "current_metrics"]
+           "current_metrics", "current_events"]
 
 
 class Telemetry:
-    """One observability session: a tracer plus a metrics registry."""
+    """One observability session: tracer, metrics registry, and event bus.
 
-    def __init__(self, clock=None, enabled: bool = True, pid: int = 0):
+    ``events_clock`` times published events; it defaults to ``time.time``
+    (epoch seconds — the only clock comparable across worker processes)
+    rather than the tracer's ``clock``, which is usually a perf counter.
+    Tests inject a :class:`~repro.core.timing.FakeClock` for both.
+    """
+
+    def __init__(self, clock=None, enabled: bool = True, pid: int = 0,
+                 process_name: str | None = None,
+                 thread_name: str | None = None,
+                 events_clock=None):
         self.enabled = enabled
-        self.tracer = Tracer(clock=clock, enabled=enabled, pid=pid)
+        self.tracer = Tracer(clock=clock, enabled=enabled, pid=pid,
+                             process_name=process_name,
+                             thread_name=thread_name)
         self.metrics = MetricsRegistry(enabled=enabled) if enabled else NULL_METRICS
+        self.events = EventBus(clock=events_clock, enabled=enabled, pid=pid)
 
     @contextlib.contextmanager
     def activate(self):
@@ -61,6 +74,10 @@ def current_tracer() -> Tracer:
 
 def current_metrics() -> MetricsRegistry:
     return _ACTIVE.get().metrics
+
+
+def current_events() -> EventBus:
+    return _ACTIVE.get().events
 
 
 def activate(telemetry: Telemetry):

@@ -1,0 +1,297 @@
+"""Streaming observability: event bus, JSONL event logs, and heartbeats.
+
+The trace/metrics layer answers *where did the time go* after the fact;
+this module answers *what is happening right now*.  Three pieces:
+
+- :class:`EventBus` — a synchronous publish/subscribe fan-out for
+  lifecycle and progress events.  The runner, campaign engine, comms
+  engine, and kernel arena publish to the ambient bus
+  (:func:`~repro.telemetry.context.current_events`); sinks subscribe.
+  A disabled bus (the default when no telemetry session is active)
+  collapses every publish to one attribute check.
+- :class:`EventLog` — an append-only JSONL sink.  Each event is one
+  ``write()`` of a complete line, so a killed process leaves at most one
+  truncated final line; :func:`read_events` tolerates exactly that
+  (crash-tolerant tail parsing) while still rejecting corruption in the
+  middle of a file.
+- :class:`HeartbeatWriter` / :func:`read_heartbeat` — a single-record
+  liveness file per job (pid, epoch, step, last metric snapshot),
+  atomically replaced on every beat so readers never see a torn write.
+  The campaign monitor derives per-job progress and stall detection from
+  these files alone.
+
+Timestamps come from an injectable ``clock()`` so the whole layer is
+deterministic under :class:`repro.core.timing.FakeClock`; real sessions
+default to ``time.time`` (epoch seconds), the only clock comparable
+*across* worker processes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+__all__ = [
+    "Event",
+    "EventBus",
+    "EventLog",
+    "Heartbeat",
+    "HeartbeatWriter",
+    "NULL_EVENTS",
+    "merge_event_streams",
+    "read_events",
+    "read_heartbeat",
+]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One published lifecycle/progress record."""
+
+    name: str
+    time_s: float
+    pid: int = 0
+    args: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"name": self.name, "time_s": self.time_s, "pid": self.pid,
+             "args": self.args},
+            sort_keys=True, default=_jsonify,
+        )
+
+    @staticmethod
+    def from_payload(payload: dict[str, Any]) -> "Event":
+        return Event(
+            name=str(payload["name"]),
+            time_s=float(payload["time_s"]),
+            pid=int(payload.get("pid", 0)),
+            args=dict(payload.get("args", {})),
+        )
+
+
+def _jsonify(obj: Any):
+    if hasattr(obj, "tolist"):  # numpy arrays and scalars
+        return obj.tolist()
+    if hasattr(obj, "item"):
+        return obj.item()
+    if isinstance(obj, (set, frozenset)):
+        return sorted(obj)
+    raise TypeError(f"unserializable event value of type {type(obj).__name__}")
+
+
+class EventBus:
+    """Synchronous fan-out of :class:`Event` records to subscribers.
+
+    Publishing on a disabled bus is a no-op (the ambient default); a
+    subscriber that raises propagates to the publisher — sinks are part
+    of the session, not best-effort listeners, so a broken sink should
+    surface, not silently drop records.
+    """
+
+    def __init__(self, clock: Callable[[], float] | None = None,
+                 enabled: bool = True, pid: int = 0):
+        self.clock = clock or time.time
+        self.enabled = enabled
+        self.pid = pid
+        self._subscribers: list[Callable[[Event], None]] = []
+
+    def subscribe(self, sink: Callable[[Event], None]) -> Callable[[], None]:
+        """Attach a sink; returns a zero-arg unsubscribe callable."""
+        self._subscribers.append(sink)
+
+        def unsubscribe() -> None:
+            if sink in self._subscribers:
+                self._subscribers.remove(sink)
+
+        return unsubscribe
+
+    def publish(self, name: str, **args: Any) -> Event | None:
+        """Build an event at the bus clock's now and hand it to every sink."""
+        if not self.enabled:
+            return None
+        event = Event(name=name, time_s=float(self.clock()), pid=self.pid,
+                      args=args)
+        for sink in list(self._subscribers):
+            sink(event)
+        return event
+
+
+NULL_EVENTS = EventBus(enabled=False)
+
+
+class EventLog:
+    """Append-only JSONL event sink.
+
+    Every event is serialized to one line and written with a single
+    ``write`` + ``flush``, so concurrent appenders interleave at line
+    granularity and a crash can truncate at most the final line — the
+    exact failure :func:`read_events` is built to tolerate.  Parent
+    directories are created on open; ``mode="a"`` (the default) lets a
+    resumed campaign extend its previous stream.
+    """
+
+    def __init__(self, path: str | Path, mode: str = "a"):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, mode, encoding="utf-8")
+
+    def write(self, event: Event) -> None:
+        self._fh.write(event.to_json() + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_events(path: str | Path) -> list[Event]:
+    """Parse a JSONL event stream, tolerating a truncated final line.
+
+    A worker killed mid-write leaves a partial last line; that line is
+    dropped silently.  A malformed line *before* the end of the file is
+    real corruption and raises ``ValueError`` — tolerance is scoped to
+    the one failure appenders can actually produce.  A missing file is an
+    empty stream (the job may simply not have started).
+    """
+    path = Path(path)
+    if not path.is_file():
+        return []
+    raw_lines = path.read_text(encoding="utf-8", errors="replace").split("\n")
+    # Trailing "" after a final newline is not a record.
+    while raw_lines and raw_lines[-1] == "":
+        raw_lines.pop()
+    events: list[Event] = []
+    last = len(raw_lines) - 1
+    for i, line in enumerate(raw_lines):
+        if not line.strip():
+            continue
+        try:
+            events.append(Event.from_payload(json.loads(line)))
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            if i == last:
+                break  # truncated tail from a killed writer; tolerated
+            raise ValueError(f"{path}:{i + 1}: corrupt event line") from exc
+    return events
+
+
+def merge_event_streams(paths: Iterable[str | Path]) -> list[Event]:
+    """Read several per-job streams and merge them into one timeline.
+
+    The sort is stable on ``(time_s, pid)`` so events sharing a timestamp
+    (FakeClock tests; same-instant workers) keep a deterministic order.
+    """
+    merged: list[Event] = []
+    for path in paths:
+        merged.extend(read_events(path))
+    merged.sort(key=lambda e: (e.time_s, e.pid))
+    return merged
+
+
+@dataclass
+class Heartbeat:
+    """The latest liveness record one job wrote."""
+
+    pid: int
+    benchmark: str
+    seed: int
+    time_s: float
+    attempt: int = 0
+    status: str = "running"
+    epoch: int = 0
+    step: float = 0.0  # cumulative samples seen (the finest progress unit)
+    quality: float | None = None
+    metrics: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def key(self) -> str:
+        return f"{self.benchmark}/{self.seed}"
+
+    def age_s(self, now_s: float) -> float:
+        return max(now_s - self.time_s, 0.0)
+
+
+class HeartbeatWriter:
+    """Maintains one job's heartbeat file; usable as an event-bus sink.
+
+    Every beat rewrites the whole (tiny) file via write-temp-then-rename,
+    so a reader never observes a torn record even if the writer is killed
+    mid-beat.  Subscribed to a bus (``bus.subscribe(writer.on_event)``)
+    it folds progress events into the record: ``epoch`` events advance
+    the epoch/step counters, ``eval`` events update the quality snapshot.
+    """
+
+    def __init__(self, path: str | Path, *, pid: int, benchmark: str,
+                 seed: int, attempt: int = 0,
+                 clock: Callable[[], float] | None = None):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.clock = clock or time.time
+        self.record = Heartbeat(pid=pid, benchmark=benchmark, seed=seed,
+                                attempt=attempt, time_s=float(self.clock()))
+
+    def beat(self, **updates: Any) -> Heartbeat:
+        """Apply field updates, stamp now, and atomically rewrite the file."""
+        for name, value in updates.items():
+            if not hasattr(self.record, name):
+                raise AttributeError(f"heartbeat has no field {name!r}")
+            setattr(self.record, name, value)
+        self.record.time_s = float(self.clock())
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(json.dumps(asdict(self.record), sort_keys=True,
+                                  default=_jsonify))
+        os.replace(tmp, self.path)
+        return self.record
+
+    def on_event(self, event: Event) -> None:
+        """Fold one progress event into the record and beat."""
+        updates: dict[str, Any] = {}
+        if event.name == "epoch":
+            if "epoch" in event.args:
+                updates["epoch"] = int(event.args["epoch"])
+            if "samples_total" in event.args:
+                updates["step"] = float(event.args["samples_total"])
+        elif event.name == "eval" and "quality" in event.args:
+            updates["quality"] = float(event.args["quality"])
+            if "epoch" in event.args:
+                updates["epoch"] = int(event.args["epoch"])
+        self.beat(**updates)
+
+
+def read_heartbeat(path: str | Path) -> Heartbeat | None:
+    """Load a heartbeat file; absent or unreadable files are ``None``.
+
+    Beats are atomic replaces, so a torn record should be impossible —
+    but the monitor must never crash on a half-provisioned campaign
+    directory, so any parse failure degrades to "no heartbeat".
+    """
+    path = Path(path)
+    if not path.is_file():
+        return None
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        return Heartbeat(
+            pid=int(payload["pid"]),
+            benchmark=str(payload["benchmark"]),
+            seed=int(payload["seed"]),
+            time_s=float(payload["time_s"]),
+            attempt=int(payload.get("attempt", 0)),
+            status=str(payload.get("status", "running")),
+            epoch=int(payload.get("epoch", 0)),
+            step=float(payload.get("step", 0.0)),
+            quality=(None if payload.get("quality") is None
+                     else float(payload["quality"])),
+            metrics=dict(payload.get("metrics", {})),
+        )
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+        return None

@@ -1,0 +1,273 @@
+"""The campaign monitor: a terminal view built purely from files.
+
+``repro monitor <campaign-dir>`` must work on a *live* campaign run by
+another process, and post-mortem on a dead one — so this module reads
+only the durable observability surface:
+
+- ``campaign_journal.json`` — terminal per-cell results and the planned
+  cell list (:mod:`repro.exec.journal` writes it atomically);
+- ``heartbeats/*.json`` — each job's latest liveness record
+  (:class:`~repro.telemetry.events.HeartbeatWriter`);
+- ``events/*.jsonl`` — the merged lifecycle/progress timeline
+  (:func:`~repro.telemetry.events.read_events`, truncation-tolerant).
+
+No sockets, no shared state, no imports of the execution engine: the
+monitor cannot crash a campaign and works on a copied directory.  ``now``
+is an explicit parameter everywhere, so views are deterministic under
+:class:`repro.core.timing.FakeClock` in tests.
+
+Job states: ``pending`` (planned, no record or heartbeat yet),
+``running`` (fresh running heartbeat), ``stalled`` (running heartbeat
+older than the stall threshold), plus the journal's terminal/attempted
+states ``reached`` / ``quality_miss`` / ``fault`` / ``timeout``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from .events import Event, Heartbeat, merge_event_streams, read_heartbeat
+
+__all__ = ["JobView", "MonitorView", "DEFAULT_STALL_AFTER_S",
+           "load_monitor_view", "build_view", "render_monitor_view",
+           "render_job_table"]
+
+DEFAULT_STALL_AFTER_S = 30.0
+
+# Journal states that cannot change without another scheduling decision.
+_SETTLED = frozenset({"reached", "quality_miss", "fault", "timeout"})
+
+
+@dataclass(frozen=True)
+class JobView:
+    """One (benchmark, seed) cell as the monitor sees it."""
+
+    benchmark: str
+    seed: int
+    status: str
+    attempts: int = 0
+    epoch: int = 0
+    step: float = 0.0
+    quality: float | None = None
+    time_to_train_s: float | None = None
+    heartbeat_age_s: float | None = None
+    stalled: bool = False
+    error: str | None = None
+
+    @property
+    def key(self) -> str:
+        return f"{self.benchmark}/{self.seed}"
+
+    @property
+    def active(self) -> bool:
+        return self.status in ("running", "stalled")
+
+
+@dataclass
+class MonitorView:
+    """Everything one refresh of the monitor knows."""
+
+    jobs: list[JobView] = field(default_factory=list)
+    campaign: dict[str, Any] = field(default_factory=dict)
+    events: list[Event] = field(default_factory=list)
+    now_s: float = 0.0
+    stall_after_s: float = DEFAULT_STALL_AFTER_S
+
+    def counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for job in self.jobs:
+            counts[job.status] = counts.get(job.status, 0) + 1
+        return counts
+
+    @property
+    def settled(self) -> bool:
+        """True when no cell can still make progress without rescheduling."""
+        return all(not j.active and j.status != "pending" for j in self.jobs)
+
+    @property
+    def stalled_jobs(self) -> list[JobView]:
+        return [j for j in self.jobs if j.stalled]
+
+    def eta_s(self) -> float | None:
+        """Naive remaining-work estimate: mean finished-cell TTT x cells left.
+
+        Deliberately simple (ignores parallelism and per-benchmark cost
+        skew); None until at least one cell finished with a duration.
+        """
+        durations = [j.time_to_train_s for j in self.jobs
+                     if j.time_to_train_s is not None]
+        remaining = sum(1 for j in self.jobs
+                        if j.status in ("pending", "running", "stalled"))
+        if not durations or remaining == 0:
+            return None
+        return remaining * (sum(durations) / len(durations))
+
+
+def _load_journal_doc(campaign_dir: Path) -> dict[str, Any]:
+    """Read the journal JSON directly (no exec-engine import: files only)."""
+    path = campaign_dir / "campaign_journal.json"
+    if not path.is_file():
+        return {}
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError:
+        # A journal mid-replace can't be half-written (atomic rename), but
+        # a foreign/corrupt file should degrade to "no journal", not crash
+        # a monitor attached to a live run.
+        return {}
+
+
+def build_view(
+    *,
+    job_records: dict[str, dict[str, Any]],
+    planned_cells: list[tuple[str, int]] | None = None,
+    heartbeats: dict[str, Heartbeat] | None = None,
+    campaign: dict[str, Any] | None = None,
+    events: list[Event] | None = None,
+    now_s: float,
+    stall_after_s: float = DEFAULT_STALL_AFTER_S,
+) -> MonitorView:
+    """Fuse journal records, heartbeats, and the plan into one view.
+
+    ``job_records`` maps ``benchmark/seed`` to journal-record dicts (the
+    exact shape :class:`~repro.exec.journal.JobRecord` serializes to).
+    This is the single state-derivation path — ``repro monitor`` feeds it
+    from files and ``repro campaign`` feeds it from the in-memory journal,
+    so both render identical tables.
+    """
+    heartbeats = heartbeats or {}
+    cells: dict[tuple[str, int], None] = {}
+    for benchmark, seed in planned_cells or []:
+        cells[(benchmark, int(seed))] = None
+    for key in job_records:
+        benchmark, _, seed = key.rpartition("/")
+        cells[(benchmark, int(seed))] = None
+    for beat in heartbeats.values():
+        cells[(beat.benchmark, beat.seed)] = None
+
+    jobs: list[JobView] = []
+    for benchmark, seed in sorted(cells):
+        key = f"{benchmark}/{seed}"
+        record = job_records.get(key)
+        beat = heartbeats.get(key)
+        status = record["status"] if record else "pending"
+        attempts = int(record["attempts"]) if record else 0
+        quality = record.get("quality") if record else None
+        ttt = record.get("time_to_train_s") if record else None
+        error = record.get("error") if record else None
+        epoch = int(record["epochs"]) if record and record.get("epochs") else 0
+        step = 0.0
+        age = None
+        stalled = False
+        if beat is not None:
+            age = beat.age_s(now_s)
+            live = beat.status == "running"
+            # A running heartbeat newer than the journal's last word means
+            # a retry (or the first attempt) is in flight right now.
+            if live and (record is None or status not in ("reached",)):
+                stalled = age > stall_after_s
+                status = "stalled" if stalled else "running"
+                attempts = max(attempts, beat.attempt + 1)
+                epoch = beat.epoch
+                step = beat.step
+                quality = beat.quality if beat.quality is not None else quality
+        jobs.append(JobView(
+            benchmark=benchmark, seed=seed, status=status, attempts=attempts,
+            epoch=epoch, step=step, quality=quality,
+            time_to_train_s=ttt, heartbeat_age_s=age, stalled=stalled,
+            error=error,
+        ))
+    return MonitorView(jobs=jobs, campaign=dict(campaign or {}),
+                       events=list(events or []), now_s=now_s,
+                       stall_after_s=stall_after_s)
+
+
+def load_monitor_view(
+    campaign_dir: str | Path,
+    *,
+    now_s: float | None = None,
+    stall_after_s: float = DEFAULT_STALL_AFTER_S,
+) -> MonitorView:
+    """Build a view from a campaign directory's files alone."""
+    campaign_dir = Path(campaign_dir)
+    now_s = time.time() if now_s is None else float(now_s)
+
+    doc = _load_journal_doc(campaign_dir)
+    campaign = dict(doc.get("campaign", {}))
+    job_records = {key: dict(rec) for key, rec in doc.get("jobs", {}).items()}
+    planned = [(str(b), int(s)) for b, s in campaign.get("planned_cells", [])]
+
+    heartbeats: dict[str, Heartbeat] = {}
+    hb_dir = campaign_dir / "heartbeats"
+    if hb_dir.is_dir():
+        for path in sorted(hb_dir.glob("*.json")):
+            beat = read_heartbeat(path)
+            if beat is not None:
+                heartbeats[beat.key] = beat
+
+    events_dir = campaign_dir / "events"
+    events = (merge_event_streams(sorted(events_dir.glob("*.jsonl")))
+              if events_dir.is_dir() else [])
+
+    return build_view(job_records=job_records, planned_cells=planned,
+                      heartbeats=heartbeats, campaign=campaign, events=events,
+                      now_s=now_s, stall_after_s=stall_after_s)
+
+
+def _fmt(value: float | None, spec: str, empty: str = "-") -> str:
+    return empty if value is None else format(value, spec)
+
+
+def render_job_table(jobs: list[JobView]) -> str:
+    """One row per cell — the table ``monitor`` and ``campaign`` share."""
+    header = (
+        f"{'Job':<32}{'Status':<14}{'Att':>4}{'Epoch':>6}{'Step':>8}"
+        f"{'Quality':>9}{'TTT (s)':>9}  Heartbeat"
+    )
+    lines = [header, "-" * len(header)]
+    for job in jobs:
+        status = job.status.upper() if job.stalled else job.status
+        beat = ("-" if job.heartbeat_age_s is None
+                else f"{job.heartbeat_age_s:.1f}s ago")
+        step = "-" if not job.step else f"{job.step:g}"
+        lines.append(
+            f"{job.key:<32}{status:<14}{job.attempts:>4}{job.epoch:>6}"
+            f"{step:>8}{_fmt(job.quality, '.4f'):>9}"
+            f"{_fmt(job.time_to_train_s, '.3f'):>9}  {beat}"
+        )
+    return "\n".join(lines)
+
+
+def render_monitor_view(view: MonitorView, *, recent_events: int = 6) -> str:
+    """The full refreshable screen: summary line, job table, event tail."""
+    counts = view.counts()
+    summary = " ".join(f"{name}={counts[name]}" for name in
+                       ("reached", "running", "stalled", "pending",
+                        "quality_miss", "fault", "timeout") if name in counts)
+    benchmarks = view.campaign.get("benchmarks")
+    head = (f"campaign: {len(benchmarks)} benchmark(s), " if benchmarks
+            else "campaign: ") + f"{len(view.jobs)} cell(s)  [{summary or 'empty'}]"
+    lines = [head]
+    eta = view.eta_s()
+    if eta is not None:
+        lines.append(f"  eta ~{eta:.1f}s (mean finished-cell TTT x cells left)")
+    if view.stalled_jobs:
+        lines.append(
+            f"  STALL: {len(view.stalled_jobs)} job(s) without a heartbeat "
+            f"for > {view.stall_after_s:.0f}s"
+        )
+    lines.append("")
+    lines.append(render_job_table(view.jobs))
+    if view.events and recent_events > 0:
+        lines.append("")
+        lines.append(f"recent events (last {min(recent_events, len(view.events))} "
+                     f"of {len(view.events)}):")
+        for event in view.events[-recent_events:]:
+            args = " ".join(f"{k}={event.args[k]}" for k in sorted(event.args))
+            lines.append(f"  t={event.time_s:.3f} pid={event.pid} "
+                         f"{event.name} {args}".rstrip())
+    return "\n".join(lines)

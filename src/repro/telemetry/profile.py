@@ -34,10 +34,17 @@ __all__ = ["Instrumented", "PhaseDecomposition", "RunTelemetry",
 
 @dataclass
 class RunTelemetry:
-    """Serializable telemetry snapshot attached to a finished run."""
+    """Serializable telemetry snapshot attached to a finished run.
+
+    ``series`` is the :class:`~repro.telemetry.timeseries.RunSeries`
+    payload — per-run sampled trajectories (throughput, eval quality,
+    arena hit rate, all-reduce traffic) recorded at epoch/eval
+    boundaries, rendered by ``repro stats --series``.
+    """
 
     trace_events: list[dict[str, Any]] = field(default_factory=list)
     metrics: dict[str, dict[str, Any]] = field(default_factory=dict)
+    series: dict[str, Any] = field(default_factory=dict)
 
     def to_chrome_trace(self) -> dict[str, Any]:
         return {"traceEvents": list(self.trace_events), "displayTimeUnit": "ms"}
@@ -47,9 +54,11 @@ def merged_run_telemetry(snapshots: Iterable[RunTelemetry | None]) -> RunTelemet
     """Compose per-run snapshots into one campaign-level view.
 
     Trace events concatenate — each run's tracer already stamped its
-    events with ``pid = seed``, so parallel workers land on separate
-    process rows in the Chrome viewer.  Metrics merge via
-    :func:`~repro.telemetry.metrics.merge_snapshots`.
+    events with a distinct pid (the job ordinal), so parallel workers
+    land on separate, named process rows in the Chrome viewer.  Metrics
+    merge via :func:`~repro.telemetry.metrics.merge_snapshots`.  Series
+    stay per-run (a merged trajectory has no meaning) and are dropped
+    from the campaign-level view.
     """
     from .metrics import merge_snapshots
 

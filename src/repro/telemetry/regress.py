@@ -1,0 +1,216 @@
+"""Benchmark-over-benchmark regression gating (``repro bench-diff``).
+
+MLPerf's own v0.5 → v0.6 evaluation (the paper's Fig 4) is a regression
+comparison between benchmark rounds; this module applies the same idea to
+our recorded perf reports.  Each ``BENCH_*.json`` carries a ``schema``
+field; per schema we declare which metrics gate, in which direction, and
+with what tolerance band:
+
+- **exact** metrics (bit-identity flags, campaign shape) must match —
+  these encode correctness, not speed, and have zero legitimate variance;
+- **lower-is-better** counts (faults, timeouts) may not rise past
+  ``baseline * (1 + rel_tol) + abs_tol``;
+- **higher-is-better** rates (speedups, hit rates) may not fall below
+  ``baseline * (1 - rel_tol) - abs_tol``.
+
+Timing-derived metrics default to generous relative bands because CI
+hosts differ from the machines baselines were recorded on: the gate is
+for *regressions a PR causes*, not for machine-to-machine noise.  CI runs
+the ``bench-* --smoke`` harnesses and diffs their fresh reports against
+the committed ``benchmarks/reports/`` baselines; a non-zero exit fails
+the build.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any
+
+__all__ = ["MetricSpec", "RegressionRow", "RegressionReport",
+           "SCHEMA_METRICS", "compare_reports", "load_report"]
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """How one metric in a report is gated against its baseline."""
+
+    path: str  # dotted path into the JSON payload, e.g. "arena.hit_rate"
+    direction: str  # "exact" | "higher" | "lower"
+    rel_tol: float = 0.0
+    abs_tol: float = 0.0
+
+    def __post_init__(self):
+        if self.direction not in ("exact", "higher", "lower"):
+            raise ValueError(f"unknown direction {self.direction!r}")
+        if self.rel_tol < 0 or self.abs_tol < 0:
+            raise ValueError("tolerances must be non-negative")
+
+    def bound(self, baseline: float) -> float:
+        """The worst acceptable current value given the baseline."""
+        if self.direction == "higher":
+            return baseline * (1.0 - self.rel_tol) - self.abs_tol
+        if self.direction == "lower":
+            return baseline * (1.0 + self.rel_tol) + self.abs_tol
+        return baseline
+
+
+# The gate declarations, per report schema.  Correctness flags are exact;
+# operational counts are tight; timing ratios get wide rel_tol bands.
+SCHEMA_METRICS: dict[str, tuple[MetricSpec, ...]] = {
+    "repro-campaign-bench/1": (
+        MetricSpec("total_cells", "exact"),
+        MetricSpec("faults", "lower"),
+        MetricSpec("timeouts", "lower"),
+        MetricSpec("quality_misses", "lower"),
+        MetricSpec("retries", "lower", abs_tol=2),
+        MetricSpec("speedup", "higher", rel_tol=0.5),
+    ),
+    "repro.bench_kernels.v1": (
+        MetricSpec("checks.bit_identical", "exact"),
+        MetricSpec("arena.hit_rate", "higher", abs_tol=0.05),
+        MetricSpec("arena.steady_state_bytes_allocated", "lower"),
+        MetricSpec("checks.conv_speedup", "higher", rel_tol=0.5),
+    ),
+    "repro.bench_comms.v1": (
+        MetricSpec("checks.bit_identical", "exact"),
+        MetricSpec("checks.best_speedup_by_workers.2", "higher", rel_tol=0.5),
+    ),
+}
+
+
+@dataclass(frozen=True)
+class RegressionRow:
+    """One gated metric's verdict."""
+
+    path: str
+    direction: str
+    baseline: Any
+    current: Any
+    bound: Any
+    ok: bool
+    note: str = ""
+
+
+@dataclass
+class RegressionReport:
+    """Every gated metric's verdict for one (report, baseline) pair."""
+
+    schema: str
+    rows: list[RegressionRow] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(row.ok for row in self.rows)
+
+    @property
+    def regressions(self) -> list[RegressionRow]:
+        return [row for row in self.rows if not row.ok]
+
+    def render(self) -> str:
+        header = (
+            f"{'Metric':<40}{'Dir':<8}{'Baseline':>12}{'Current':>12}"
+            f"{'Bound':>12}  Verdict"
+        )
+        lines = [f"schema: {self.schema}", header, "-" * len(header)]
+        for row in self.rows:
+            verdict = "ok" if row.ok else "REGRESSED"
+            if row.note:
+                verdict += f" ({row.note})"
+            lines.append(
+                f"{row.path:<40}{row.direction:<8}{_fmt(row.baseline):>12}"
+                f"{_fmt(row.current):>12}{_fmt(row.bound):>12}  {verdict}"
+            )
+        lines.append(
+            f"{len(self.rows)} metric(s) gated, "
+            f"{len(self.regressions)} regression(s)"
+        )
+        return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _lookup(payload: dict[str, Any], path: str) -> Any:
+    node: Any = payload
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def load_report(path: str | Path) -> dict[str, Any]:
+    """Read a BENCH_*.json payload; the schema field is mandatory."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or "schema" not in payload:
+        raise ValueError(f"{path}: not a bench report (no 'schema' field)")
+    return payload
+
+
+def compare_reports(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    *,
+    tolerance_overrides: dict[str, float] | None = None,
+) -> RegressionReport:
+    """Gate a fresh report against its committed baseline.
+
+    Both payloads must carry the same ``schema`` (comparing a kernels
+    report against a comms baseline is a usage error, not a regression).
+    ``tolerance_overrides`` maps metric path → relative tolerance,
+    replacing the declared band for that metric.
+    """
+    schema = current.get("schema")
+    if schema != baseline.get("schema"):
+        raise ValueError(
+            f"schema mismatch: report is {schema!r}, "
+            f"baseline is {baseline.get('schema')!r}"
+        )
+    specs = SCHEMA_METRICS.get(schema)
+    if specs is None:
+        raise ValueError(f"no regression gates declared for schema {schema!r}")
+
+    overrides = tolerance_overrides or {}
+    unknown = set(overrides) - {spec.path for spec in specs}
+    if unknown:
+        raise ValueError(f"tolerance override(s) for ungated metric(s): "
+                         f"{sorted(unknown)}")
+
+    report = RegressionReport(schema=schema)
+    for spec in specs:
+        if spec.path in overrides:
+            spec = replace(spec, rel_tol=float(overrides[spec.path]))
+        base_value = _lookup(baseline, spec.path)
+        cur_value = _lookup(current, spec.path)
+        if base_value is None:
+            # Baselines predating a metric don't gate it yet; recording a
+            # fresh baseline picks it up.
+            report.rows.append(RegressionRow(
+                spec.path, spec.direction, None, cur_value, None, True,
+                note="no baseline value"))
+            continue
+        if cur_value is None:
+            report.rows.append(RegressionRow(
+                spec.path, spec.direction, base_value, None, base_value,
+                False, note="missing from report"))
+            continue
+        if spec.direction == "exact":
+            ok = cur_value == base_value
+            report.rows.append(RegressionRow(
+                spec.path, spec.direction, base_value, cur_value, base_value, ok))
+            continue
+        base_num, cur_num = float(base_value), float(cur_value)
+        bound = spec.bound(base_num)
+        ok = cur_num >= bound if spec.direction == "higher" else cur_num <= bound
+        report.rows.append(RegressionRow(
+            spec.path, spec.direction, base_num, cur_num, bound, ok))
+    return report

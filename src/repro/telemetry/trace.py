@@ -25,7 +25,29 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
-__all__ = ["Span", "Tracer", "NULL_SPAN", "chrome_trace_from_intervals"]
+__all__ = ["Span", "Tracer", "NULL_SPAN", "chrome_trace_from_intervals",
+           "metadata_events"]
+
+
+def metadata_events(pid: int, process_name: str | None = None,
+                    thread_name: str | None = None,
+                    tid: int = 0) -> list[dict[str, Any]]:
+    """Chrome ``"M"`` metadata events naming a trace's process/thread rows.
+
+    Without these, every session exported as a bare pid/tid integer and
+    merged campaign traces were unreadable; with them the viewer shows
+    ``benchmark/seed`` labels per row.
+    """
+    events: list[dict[str, Any]] = []
+    if process_name:
+        events.append({"name": "process_name", "ph": "M", "cat": "__metadata",
+                       "ts": 0, "pid": pid, "tid": tid,
+                       "args": {"name": process_name}})
+    if thread_name:
+        events.append({"name": "thread_name", "ph": "M", "cat": "__metadata",
+                       "ts": 0, "pid": pid, "tid": tid,
+                       "args": {"name": thread_name}})
+    return events
 
 
 @dataclass
@@ -98,15 +120,25 @@ class Tracer:
     enabled:
         When False the tracer is a no-op (the zero-overhead default used
         by the ambient telemetry context).
-    pid:
-        Process id stamped on exported events — the runner uses the run
-        seed so multi-run traces stay separable in one file.
+    pid / tid:
+        Process and thread ids stamped on exported events — campaign
+        workers use their job ordinal so merged traces keep one process
+        row per cell instead of collapsing onto pid=0/tid=0.
+    process_name / thread_name:
+        When set, :meth:`chrome_events` prepends the matching ``"M"``
+        (metadata) events so the viewer labels the rows by job instead of
+        by bare integer ids.
     """
 
-    def __init__(self, clock=None, enabled: bool = True, pid: int = 0):
+    def __init__(self, clock=None, enabled: bool = True, pid: int = 0,
+                 tid: int = 0, process_name: str | None = None,
+                 thread_name: str | None = None):
         self.clock = clock or time.perf_counter
         self.enabled = enabled
         self.pid = pid
+        self.tid = tid
+        self.process_name = process_name
+        self.thread_name = thread_name
         self.spans: list[Span] = []
         self._stack: list[Span] = []
 
@@ -145,7 +177,13 @@ class Tracer:
 
     # -- export --------------------------------------------------------------
     def chrome_events(self, pid: int | None = None) -> list[dict[str, Any]]:
-        """The recorded spans as Chrome ``trace_event`` dicts (closed only)."""
+        """The recorded spans as Chrome ``trace_event`` dicts (closed only).
+
+        When the tracer has a ``process_name``/``thread_name``, matching
+        metadata events lead the list so viewers label this session's
+        rows; they are emitted only alongside real spans (an idle session
+        exports nothing).
+        """
         pid = self.pid if pid is None else pid
         events = []
         for s in self.spans:
@@ -158,9 +196,12 @@ class Tracer:
                 "ts": s.start_s * 1e6,  # trace_event timestamps are in µs
                 "dur": (s.end_s - s.start_s) * 1e6,
                 "pid": pid,
-                "tid": 0,
+                "tid": self.tid,
                 "args": dict(s.args),
             })
+        if events:
+            events = metadata_events(pid, self.process_name, self.thread_name,
+                                     tid=self.tid) + events
         return events
 
     def to_chrome_trace(self) -> dict[str, Any]:

@@ -168,3 +168,39 @@ class TestRunResultMetricsRoundtrip:
         run = runner.run(FakeBenchmark(clock=clock), seed=0)
         path = save_run_result(tmp_path / "result_0.txt", run)
         assert load_run_result(run.benchmark, path).telemetry is None
+
+
+class TestRunResultSeriesRoundtrip:
+    """Per-run sampled series persist in the header for `stats --series`."""
+
+    def _run_with_telemetry(self):
+        from repro.telemetry import Telemetry
+
+        clock = FakeClock()
+        bench = FakeBenchmark(clock=clock)
+        runner = BenchmarkRunner(clock=clock)
+        telemetry = Telemetry(clock=clock, events_clock=clock.now)
+        return runner.run(bench, seed=0, telemetry=telemetry)
+
+    def test_series_survive_save_load(self, tmp_path):
+        from repro.core.artifacts import load_run_result, save_run_result
+
+        run = self._run_with_telemetry()
+        assert run.telemetry is not None and run.telemetry.series
+        assert "eval_quality" in run.telemetry.series
+        assert "epoch_seconds" in run.telemetry.series
+        path = save_run_result(tmp_path / "result_0.txt", run)
+        loaded = load_run_result(run.benchmark, path)
+        assert loaded.telemetry.series == run.telemetry.series
+
+    def test_truncated_final_log_line_tolerated(self, tmp_path):
+        from repro.core.artifacts import load_run_result, save_run_result
+
+        run = self._run_with_telemetry()
+        path = save_run_result(tmp_path / "result_0.txt", run)
+        # Simulate the writer dying mid-line on the last record.
+        text = path.read_text().rstrip("\n")
+        path.write_text(text[: len(text) - 15])
+        loaded = load_run_result(run.benchmark, path)
+        assert loaded.quality == run.quality
+        assert loaded.quality_history  # earlier evals still parsed

@@ -133,3 +133,48 @@ class TestTrainingTimer:
         clock = FakeClock()
         with pytest.raises(ValueError):
             clock.advance(-1)
+
+
+class TestStreamingParse:
+    """iter_log_lines / iter_log_file: tolerant of exactly one truncated tail."""
+
+    def _lines(self):
+        clock = FakeClock()
+        logger = MLLogger(clock)
+        logger.event(Keys.RUN_START)
+        clock.advance(1.0)
+        logger.event(Keys.EVAL_ACCURACY, 0.5, epoch_num=1)
+        return logger.to_lines()
+
+    def test_matches_batch_parser_on_clean_input(self):
+        from repro.core.mllog import iter_log_lines
+
+        lines = self._lines() + ["free-text launcher chatter", ""]
+        streamed = list(iter_log_lines(lines))
+        assert streamed == parse_log_lines("\n".join(lines))
+
+    def test_truncated_final_line_is_dropped(self):
+        from repro.core.mllog import iter_log_lines
+
+        lines = self._lines()
+        lines.append(lines[-1][: len(lines[-1]) // 2])  # killed mid-write
+        events = list(iter_log_lines(lines))
+        assert [e.key for e in events] == [Keys.RUN_START, Keys.EVAL_ACCURACY]
+
+    def test_mid_stream_corruption_raises(self):
+        from repro.core.mllog import iter_log_lines
+
+        lines = self._lines()
+        lines.insert(1, ":::MLLOG {broken json")
+        with pytest.raises(Exception):
+            list(iter_log_lines(lines))
+
+    def test_iter_log_file(self, tmp_path):
+        from repro.core.mllog import iter_log_file
+
+        assert list(iter_log_file(tmp_path / "absent.log")) == []
+        path = tmp_path / "run.log"
+        lines = self._lines()
+        path.write_text("\n".join(lines) + "\n" + lines[-1][:20])
+        events = list(iter_log_file(path))
+        assert [e.key for e in events] == [Keys.RUN_START, Keys.EVAL_ACCURACY]

@@ -1,0 +1,96 @@
+"""The bench regression gate: tolerance bands, directions, schema safety."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.telemetry import MetricSpec, compare_reports, load_report
+
+REPORTS_DIR = Path(__file__).resolve().parents[2] / "benchmarks" / "reports"
+
+BASELINES = sorted(REPORTS_DIR.glob("BENCH_*.json"))
+
+
+class TestMetricSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MetricSpec("x", "sideways")
+        with pytest.raises(ValueError):
+            MetricSpec("x", "higher", rel_tol=-0.1)
+
+    def test_bounds(self):
+        assert MetricSpec("x", "higher", rel_tol=0.5).bound(2.0) == 1.0
+        assert MetricSpec("x", "lower", abs_tol=2).bound(1.0) == 3.0
+        assert MetricSpec("x", "exact").bound(7.0) == 7.0
+
+
+class TestCompareReports:
+    def test_committed_baselines_self_compare_clean(self):
+        # The exact check CI runs: every committed report must gate green
+        # against itself, or the gate is wrong before any PR touches it.
+        assert BASELINES, "no committed BENCH_*.json baselines found"
+        for path in BASELINES:
+            payload = load_report(path)
+            report = compare_reports(payload, payload)
+            assert report.ok, f"{path.name}: {report.render()}"
+            assert report.rows  # something actually gated
+
+    def test_injected_kernel_regression_fails(self):
+        baseline = load_report(REPORTS_DIR / "BENCH_kernels.json")
+        current = {**baseline, "checks": dict(baseline["checks"]),
+                   "arena": dict(baseline["arena"])}
+        current["checks"]["bit_identical"] = False
+        current["arena"]["hit_rate"] = baseline["arena"]["hit_rate"] - 0.5
+        report = compare_reports(current, baseline)
+        assert not report.ok
+        regressed = {row.path for row in report.regressions}
+        assert regressed == {"checks.bit_identical", "arena.hit_rate"}
+        rendered = report.render()
+        assert "REGRESSED" in rendered and "2 regression(s)" in rendered
+
+    def test_within_band_drift_passes(self):
+        baseline = load_report(REPORTS_DIR / "BENCH_campaign.json")
+        current = dict(baseline)
+        current["speedup"] = baseline["speedup"] * 0.6  # inside rel_tol=0.5
+        current["retries"] = baseline["retries"] + 2  # inside abs_tol=2
+        assert compare_reports(current, baseline).ok
+
+    def test_schema_mismatch_raises(self):
+        kernels = load_report(REPORTS_DIR / "BENCH_kernels.json")
+        comms = load_report(REPORTS_DIR / "BENCH_comms.json")
+        with pytest.raises(ValueError, match="schema mismatch"):
+            compare_reports(kernels, comms)
+
+    def test_unknown_schema_raises(self):
+        payload = {"schema": "nobody/0"}
+        with pytest.raises(ValueError, match="no regression gates"):
+            compare_reports(payload, payload)
+
+    def test_report_without_schema_field_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"speedup": 2.0}')
+        with pytest.raises(ValueError, match="no 'schema' field"):
+            load_report(bad)
+
+    def test_tolerance_override_loosens_one_metric(self):
+        baseline = load_report(REPORTS_DIR / "BENCH_campaign.json")
+        current = dict(baseline)
+        current["speedup"] = baseline["speedup"] * 0.3  # outside rel_tol=0.5
+        assert not compare_reports(current, baseline).ok
+        assert compare_reports(
+            current, baseline, tolerance_overrides={"speedup": 0.9}).ok
+        with pytest.raises(ValueError, match="ungated metric"):
+            compare_reports(current, baseline,
+                            tolerance_overrides={"nonsense": 0.5})
+
+    def test_missing_values(self):
+        baseline = load_report(REPORTS_DIR / "BENCH_campaign.json")
+        # Metric absent from the baseline: informational, not a failure.
+        older = {k: v for k, v in baseline.items() if k != "speedup"}
+        report = compare_reports(baseline, older)
+        row = next(r for r in report.rows if r.path == "speedup")
+        assert row.ok and row.note == "no baseline value"
+        # Metric absent from the fresh report: that IS a regression.
+        report = compare_reports(older, baseline)
+        row = next(r for r in report.rows if r.path == "speedup")
+        assert not row.ok and row.note == "missing from report"

@@ -19,6 +19,7 @@ from repro.telemetry import (
     current_metrics,
     current_tracer,
     decompose_log_events,
+    merge_snapshots,
     trace_from_log_events,
 )
 
@@ -153,6 +154,34 @@ class TestMetrics:
         NULL_METRICS.histogram("z").observe(2.0)
         assert NULL_METRICS.snapshot() == {}
         assert "x" not in NULL_METRICS
+
+
+class TestMergeSnapshots:
+    def test_null_type_instruments_are_skipped(self):
+        # A disabled session snapshots instruments as {"type": "null"};
+        # merging must drop them rather than poison real aggregates.
+        real = {"samples": {"type": "counter", "value": 10.0}}
+        nulled = {"samples": {"type": "null"},
+                  "other": {"type": "null"}}
+        merged = merge_snapshots([nulled, real, nulled])
+        assert merged == {"samples": {"type": "counter", "value": 10.0}}
+
+    def test_mismatched_histogram_buckets_raise(self):
+        a_reg, b_reg = MetricsRegistry(), MetricsRegistry()
+        a_reg.histogram("lat", buckets=(0.1, 1.0)).observe(0.5)
+        b_reg.histogram("lat", buckets=(0.1, 2.0)).observe(0.5)
+        with pytest.raises(ValueError, match="mismatched bucket layouts"):
+            merge_snapshots([a_reg.snapshot(), b_reg.snapshot()])
+
+    def test_gauge_last_write_across_three_sessions(self):
+        sessions = []
+        for value in (1.0, 2.0, 3.0):
+            reg = MetricsRegistry()
+            reg.gauge("eps").set(value)
+            sessions.append(reg.snapshot())
+        # Merge order = session order: the last session's value wins.
+        assert merge_snapshots(sessions)["eps"]["value"] == 3.0
+        assert merge_snapshots(reversed(sessions))["eps"]["value"] == 1.0
 
 
 class TestAmbientContext:

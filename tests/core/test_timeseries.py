@@ -1,0 +1,66 @@
+"""Per-run sampled series: recording, round-trip, and the stats table."""
+
+from repro.telemetry import RunSeries, RunTelemetry, render_series_table
+from repro.telemetry.timeseries import _sparkline
+
+
+class TestRunSeries:
+    def test_record_and_query(self):
+        series = RunSeries()
+        assert not series
+        series.record("eval_quality", 0.4, t_s=1.0, epoch=1)
+        series.record("eval_quality", 0.8, t_s=2.0, epoch=2)
+        series.record("epoch_seconds", 1.0, t_s=1.0, epoch=1)
+        assert series
+        assert "eval_quality" in series
+        assert "missing" not in series
+        assert series.names() == ["epoch_seconds", "eval_quality"]
+        points = series.points("eval_quality")
+        assert [(p.t_s, p.epoch, p.value) for p in points] == [
+            (1.0, 1, 0.4), (2.0, 2, 0.8)]
+
+    def test_payload_round_trip(self):
+        series = RunSeries()
+        series.record("examples_per_second", 320.0, t_s=1.5, epoch=1)
+        series.record("examples_per_second", 340.0, t_s=3.0, epoch=2)
+        payload = series.to_payload()
+        assert payload == {"examples_per_second": [[1.5, 1, 320.0], [3.0, 2, 340.0]]}
+        clone = RunSeries.from_payload(payload)
+        assert clone.to_payload() == payload
+        assert RunSeries.from_payload(None).to_payload() == {}
+
+    def test_sparkline_shape(self):
+        assert _sparkline([]) == ""
+        flat = _sparkline([1.0, 1.0, 1.0])
+        assert len(flat) == 3 and len(set(flat)) == 1
+        rising = _sparkline([0.0, 0.5, 1.0])
+        assert rising[0] == " " and rising[-1] == "@"
+        assert len(_sparkline(list(range(100)))) == 16  # downsampled
+
+
+class _FakeRun:
+    def __init__(self, seed, series_payload):
+        self.seed = seed
+        self.telemetry = RunTelemetry(series=series_payload)
+
+
+class TestSeriesTable:
+    def test_empty(self):
+        assert "no per-run series" in render_series_table({})
+        # Runs without series contribute nothing.
+        assert "no per-run series" in render_series_table(
+            {"fake": [_FakeRun(0, {})]})
+
+    def test_table_rows_and_ordering(self):
+        run = _FakeRun(3, {
+            "zzz_custom": [[1.0, 1, 5.0]],
+            "eval_quality": [[1.0, 1, 0.4], [2.0, 2, 0.8]],
+            "examples_per_second": [[1.0, 1, 320.0]],
+        })
+        table = render_series_table({"fake": [run]})
+        lines = [line for line in table.splitlines() if line.startswith("fake")]
+        # Standard series lead, in canonical order; extras sort after.
+        names = [line.split()[2] for line in lines]
+        assert names == ["examples_per_second", "eval_quality", "zzz_custom"]
+        quality_row = lines[1]
+        assert "0.4" in quality_row and "0.8" in quality_row

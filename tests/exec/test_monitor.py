@@ -1,0 +1,142 @@
+"""The campaign monitor: file-built views, deterministic under FakeClock."""
+
+from repro.core.timing import FakeClock
+from repro.exec import CampaignSpec, RetryPolicy, SequentialExecutor, run_campaign
+from repro.telemetry import (
+    Heartbeat,
+    build_view,
+    load_monitor_view,
+    read_events,
+    render_job_table,
+    render_monitor_view,
+)
+
+from ..core.fakes import FAKE_SPEC, FakeBenchmark
+
+SPECS = {"fake_benchmark": FAKE_SPEC}
+
+
+def _run_campaign(tmp_path, clock, seeds=3):
+    benchmark = FakeBenchmark(clock=clock)
+    return run_campaign(
+        CampaignSpec(benchmarks=("fake_benchmark",), seeds=seeds),
+        executor=SequentialExecutor(benchmark_factory=lambda name: benchmark,
+                                    clock=clock, events_clock=clock.now),
+        benchmark_specs=SPECS,
+        policy=RetryPolicy(),
+        journal_dir=tmp_path,
+        sleeper=lambda s: None,
+        wall_clock=clock.now,
+        event_clock=clock.now,
+    )
+
+
+class TestCampaignStreams:
+    def test_campaign_writes_event_and_heartbeat_files(self, tmp_path):
+        clock = FakeClock(start=1000.0)
+        _run_campaign(tmp_path, clock)
+        events_dir = tmp_path / "events"
+        names = sorted(p.name for p in events_dir.glob("*.jsonl"))
+        assert names == ["campaign.jsonl"] + [
+            f"fake_benchmark_seed{s}.jsonl" for s in range(3)]
+        campaign_events = read_events(events_dir / "campaign.jsonl")
+        kinds = [e.name for e in campaign_events]
+        assert kinds[0] == "campaign_start"
+        assert kinds[-1] == "campaign_stop"
+        assert kinds.count("job_finished") == 3
+        job_events = read_events(events_dir / "fake_benchmark_seed1.jsonl")
+        job_kinds = [e.name for e in job_events]
+        assert job_kinds[0] == "run_start"
+        assert job_kinds[-1] == "run_stop"
+        assert "epoch" in job_kinds and "eval" in job_kinds
+        # Worker events are stamped with the job ordinal and the fake clock.
+        assert {e.pid for e in job_events} == {1}
+        assert all(e.time_s >= 1000.0 for e in job_events)
+        beats = sorted(p.name for p in (tmp_path / "heartbeats").glob("*.json"))
+        assert beats == [f"fake_benchmark_seed{s}.json" for s in range(3)]
+
+    def test_view_of_finished_campaign_is_deterministic(self, tmp_path):
+        clock = FakeClock(start=1000.0)
+        _run_campaign(tmp_path, clock)
+        view = load_monitor_view(tmp_path, now_s=clock.now())
+        assert len(view.jobs) == 3
+        assert all(j.status == "reached" for j in view.jobs)
+        assert view.settled and not view.stalled_jobs
+        assert view.counts() == {"reached": 3}
+        assert view.eta_s() is None  # nothing left to estimate
+        # Built purely from files: a second load renders byte-identically.
+        again = load_monitor_view(tmp_path, now_s=clock.now())
+        assert render_monitor_view(view) == render_monitor_view(again)
+        rendered = render_monitor_view(view)
+        assert "fake_benchmark/0" in rendered
+        assert "reached=3" in rendered
+        assert "recent events" in rendered
+
+    def test_monitor_needs_no_running_campaign(self, tmp_path):
+        view = load_monitor_view(tmp_path, now_s=0.0)
+        assert view.jobs == [] and view.settled
+
+
+class TestBuildView:
+    def test_pending_cells_come_from_the_plan(self):
+        view = build_view(
+            job_records={"fake/0": {"status": "reached", "attempts": 1,
+                                    "quality": 0.9, "epochs": 4,
+                                    "time_to_train_s": 4.0}},
+            planned_cells=[("fake", 0), ("fake", 1), ("fake", 2)],
+            now_s=100.0,
+        )
+        assert [(j.key, j.status) for j in view.jobs] == [
+            ("fake/0", "reached"), ("fake/1", "pending"), ("fake/2", "pending")]
+        # ETA: 2 cells left x 4.0s mean finished TTT.
+        assert view.eta_s() == 8.0
+        assert not view.settled
+
+    def test_fresh_running_heartbeat_marks_running(self):
+        beat = Heartbeat(pid=1, benchmark="fake", seed=1, time_s=95.0,
+                         epoch=3, step=96.0, quality=0.4)
+        view = build_view(job_records={}, planned_cells=[("fake", 1)],
+                          heartbeats={"fake/1": beat}, now_s=100.0,
+                          stall_after_s=30.0)
+        job = view.jobs[0]
+        assert job.status == "running" and not job.stalled
+        assert (job.epoch, job.step, job.quality) == (3, 96.0, 0.4)
+        assert job.heartbeat_age_s == 5.0
+        assert job.attempts == 1  # beat.attempt 0 -> one attempt in flight
+
+    def test_stale_heartbeat_marks_stalled(self):
+        beat = Heartbeat(pid=0, benchmark="fake", seed=0, time_s=10.0)
+        view = build_view(job_records={}, planned_cells=[("fake", 0)],
+                          heartbeats={"fake/0": beat}, now_s=100.0,
+                          stall_after_s=30.0)
+        job = view.jobs[0]
+        assert job.status == "stalled" and job.stalled
+        assert view.stalled_jobs == [job]
+        rendered = render_monitor_view(view)
+        assert "STALL" in rendered and "STALLED" in render_job_table(view.jobs)
+
+    def test_terminal_heartbeat_defers_to_journal(self):
+        # The final beat a worker writes carries the outcome status, so a
+        # finished job must not read as running however fresh the file is.
+        beat = Heartbeat(pid=0, benchmark="fake", seed=0, time_s=99.0,
+                         status="reached", quality=0.9)
+        view = build_view(
+            job_records={"fake/0": {"status": "reached", "attempts": 1,
+                                    "quality": 0.9, "epochs": 4,
+                                    "time_to_train_s": 4.0}},
+            heartbeats={"fake/0": beat}, now_s=100.0)
+        assert view.jobs[0].status == "reached"
+        assert view.settled
+
+    def test_retry_in_flight_overrides_faulted_record(self):
+        # Journal says fault, but a fresh running heartbeat with a higher
+        # attempt means the retry is live right now.
+        beat = Heartbeat(pid=0, benchmark="fake", seed=0, time_s=99.0,
+                         attempt=1, epoch=2)
+        view = build_view(
+            job_records={"fake/0": {"status": "fault", "attempts": 1,
+                                    "error": "ValueError: boom"}},
+            heartbeats={"fake/0": beat}, now_s=100.0)
+        job = view.jobs[0]
+        assert job.status == "running"
+        assert job.attempts == 2

@@ -211,3 +211,87 @@ class TestObservabilityCommands:
         code, text = run_cli("stats", str(tmp_path / "empty-check"))
         assert code == 1
         assert "no runs" in text
+
+
+class TestMonitorCommand:
+    def test_monitor_after_campaign(self, tmp_path):
+        code, _ = run_cli("campaign", "recommendation", "--seeds", "2",
+                          "--save", str(tmp_path))
+        assert code == 0
+        code, text = run_cli("monitor", str(tmp_path))
+        assert code == 0
+        assert "recommendation/0" in text and "recommendation/1" in text
+        assert "reached=2" in text
+        assert "recent events" in text
+
+    def test_monitor_events_hidden(self, tmp_path):
+        run_cli("campaign", "recommendation", "--seeds", "2",
+                "--save", str(tmp_path))
+        code, text = run_cli("monitor", str(tmp_path), "--events", "0")
+        assert code == 0
+        assert "recent events" not in text
+
+    def test_monitor_missing_directory(self, tmp_path):
+        code, text = run_cli("monitor", str(tmp_path / "nope"))
+        assert code == 2
+        assert "no such campaign directory" in text
+
+    def test_campaign_prints_the_shared_job_table(self, tmp_path):
+        # Satellite: campaign completion output and `repro monitor` render
+        # through the same path, so both carry the job-table header.
+        code, campaign_text = run_cli("campaign", "recommendation",
+                                      "--seeds", "2", "--save", str(tmp_path))
+        assert code == 0
+        _, monitor_text = run_cli("monitor", str(tmp_path))
+        header = "Job"
+        campaign_table = [l for l in campaign_text.splitlines()
+                          if l.startswith(header) or l.startswith("recommendation/")]
+        monitor_table = [l for l in monitor_text.splitlines()
+                         if l.startswith(header) or l.startswith("recommendation/")]
+        assert campaign_table and len(campaign_table) == len(monitor_table)
+        # Identical rows up to the live heartbeat-age column.
+        for c_row, m_row in zip(campaign_table[1:], monitor_table[1:]):
+            assert c_row.split()[:7] == m_row.split()[:7]
+
+
+class TestStatsSeries:
+    def test_series_table_renders(self, tmp_path):
+        run_cli("run", "recommendation", "--seeds", "1",
+                "--save", str(tmp_path), "--submitter", "cli-test")
+        code, text = run_cli("stats", str(tmp_path / "cli-test"), "--series")
+        assert code == 0
+        assert "eval_quality" in text
+        assert "epoch_seconds" in text
+        assert "Trend" in text
+
+
+class TestBenchDiffCommand:
+    BASELINE = "benchmarks/reports/BENCH_kernels.json"
+
+    def test_self_compare_passes(self):
+        code, text = run_cli("bench-diff", self.BASELINE, self.BASELINE)
+        assert code == 0
+        assert "0 regression(s)" in text
+
+    def test_injected_regression_fails(self, tmp_path):
+        import json as _json
+
+        payload = _json.loads(open(self.BASELINE).read())
+        payload["checks"]["bit_identical"] = False
+        report = tmp_path / "fresh.json"
+        report.write_text(_json.dumps(payload))
+        code, text = run_cli("bench-diff", str(report), self.BASELINE)
+        assert code == 1
+        assert "REGRESSED" in text
+
+    def test_schema_mismatch_is_usage_error(self):
+        code, text = run_cli("bench-diff", self.BASELINE,
+                             "benchmarks/reports/BENCH_comms.json")
+        assert code == 2
+        assert "schema mismatch" in text
+
+    def test_bad_tolerance_flag(self):
+        code, text = run_cli("bench-diff", self.BASELINE, self.BASELINE,
+                             "--tolerance", "nonsense")
+        assert code == 2
+        assert "expected METRIC=REL_TOL" in text
