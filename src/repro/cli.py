@@ -24,7 +24,16 @@ Commands mirror how the MLPerf artifacts are used in practice:
   files (per-job state, progress, retries, ETA, stall detection);
 - ``bench-diff`` — gate a fresh ``BENCH_*.json`` report against a
   committed baseline with per-metric tolerance bands; non-zero exit on
-  regression (CI's perf gate);
+  regression (CI's perf gate), with per-op attribution when a timing
+  gate trips and ``--json`` for machine-readable output;
+- ``profile`` — render the op-level profile a run recorded
+  (``REPRO_PROFILE=sampled|full``) from a result file, submission, or
+  campaign directory;
+- ``analyze`` — run the trace-analysis engine on a Chrome trace file or
+  a campaign directory: critical path, comms/compute overlap, top
+  spans/gaps, optional folded-stacks export;
+- ``bench-profile`` — measure profiler overhead per mode against a
+  no-telemetry baseline (the profile-smoke CI gate);
 - ``hp-table`` — print the §6 scale → hyperparameters recommendation table;
 - ``simulate`` — print the Figure 4/5 round-simulation summaries.
 """
@@ -164,6 +173,60 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="METRIC=REL_TOL",
                       help="override one gated metric's relative tolerance "
                            "(e.g. --tolerance speedup=0.8); repeatable")
+    diff.add_argument("--json", action="store_true",
+                      help="emit the gate result (rows + attribution) as "
+                           "JSON instead of the table")
+
+    profile = sub.add_parser(
+        "profile",
+        help="render the op-level profile recorded by a run "
+             "(set REPRO_PROFILE=sampled|full when running)")
+    profile.add_argument("path",
+                         help="a result_*.txt, a submission directory, or a "
+                              "campaign directory (profiles merge)")
+    profile.add_argument("--json", action="store_true",
+                         help="emit the (merged) op-profile payload as JSON")
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="trace-analysis engine: critical path, comms/compute overlap, "
+             "top spans and gaps — over a Chrome trace file or a campaign "
+             "directory's event streams")
+    analyze.add_argument("path",
+                         help="a trace_event JSON file (from run/campaign "
+                              "--trace) or a campaign directory")
+    analyze.add_argument("--top", type=int, default=10,
+                         help="rows in the top-spans/gaps tables (default 10)")
+    analyze.add_argument("--json", action="store_true",
+                         help="emit the analysis payload as JSON")
+    analyze.add_argument("--folded", metavar="FILE",
+                         help="also write folded stacks (flamegraph.pl "
+                              "format) to FILE")
+
+    bprof = sub.add_parser(
+        "bench-profile",
+        help="measure op-profiler overhead per mode (off/sampled/full) "
+             "against a no-telemetry baseline on a conv+linear+SGD step loop")
+    bprof.add_argument("--smoke", action="store_true",
+                       help="fast CI variant: fewer steps/repeats, and exit "
+                            "non-zero if sampled-mode overhead exceeds "
+                            "--max-overhead, results diverge, or ops go "
+                            "unrecorded")
+    bprof.add_argument("--max-overhead", type=float, default=0.05,
+                       help="smoke gate on sampled-mode overhead vs the "
+                            "no-telemetry baseline (default 0.05)")
+    bprof.add_argument("--steps", type=int, default=None,
+                       help="training steps per timing sample (default 24; "
+                            "8 with --smoke)")
+    bprof.add_argument("--repeats", type=int, default=None,
+                       help="timing repeats, minimum taken (default 8; 3 "
+                            "with --smoke)")
+    bprof.add_argument("--sample-every", type=int, default=4,
+                       help="sampling window for 'sampled' mode (default 4)")
+    bprof.add_argument("-o", "--out", metavar="FILE",
+                       default="benchmarks/reports/BENCH_profile.json",
+                       help="report path (default %(default)s; '-' to skip "
+                            "writing)")
 
     hp = sub.add_parser("hp-table", help="print the scale->hyperparameters table (§6)")
     hp.add_argument("--chips", type=int, nargs="+", default=[1, 4, 16, 64])
@@ -244,6 +307,15 @@ def _cmd_table1(_args, out) -> int:
     return 0
 
 
+def _write_trace_file(path: str, trace_events: list, out, note: str = "") -> None:
+    from pathlib import Path
+
+    Path(path).write_text(json.dumps(
+        {"traceEvents": trace_events, "displayTimeUnit": "ms"}, sort_keys=True))
+    print(f"trace written to {path} ({len(trace_events)} events){note}; "
+          f"open in chrome://tracing or https://ui.perfetto.dev", file=out)
+
+
 def _cmd_run(args, out) -> int:
     from .core import (
         BenchmarkRunner,
@@ -278,8 +350,18 @@ def _cmd_run(args, out) -> int:
                                 telemetry=telemetry)
         except RunFailure as failure:
             # A crashed run is a failed session, not a CLI crash — and
-            # never a success: summarize it and exit non-zero.
+            # never a success: summarize it and exit non-zero.  The
+            # partial trace still gets written below: a failed run is
+            # exactly when the trace is wanted (the runner aborted the
+            # open spans, so they export).
             print(failure.summary(), file=out)
+            if failure.telemetry is not None:
+                trace_events.extend(failure.telemetry.trace_events)
+            elif telemetry is not None:
+                trace_events.extend(telemetry.tracer.chrome_events())
+            if args.trace:
+                _write_trace_file(args.trace, trace_events, out,
+                                  note=" (partial: run failed)")
             return 1
         status = "reached" if result.reached_target else "FAILED"
         print(f"seed {seed}: {status} quality={result.quality:.4f} "
@@ -295,12 +377,7 @@ def _cmd_run(args, out) -> int:
         runs.append(result)
 
     if args.trace:
-        from pathlib import Path
-
-        Path(args.trace).write_text(json.dumps(
-            {"traceEvents": trace_events, "displayTimeUnit": "ms"}, sort_keys=True))
-        print(f"trace written to {args.trace} ({len(trace_events)} events); "
-              f"open in chrome://tracing or https://ui.perfetto.dev", file=out)
+        _write_trace_file(args.trace, trace_events, out)
 
     exit_code = 0 if all(r.reached_target for r in runs) else 1
     if args.score:
@@ -533,8 +610,120 @@ def _cmd_bench_diff(args, out) -> int:
     except (OSError, ValueError) as exc:
         print(f"bench-diff: {exc}", file=out)
         return 2
-    print(report.render(), file=out)
+    if args.json:
+        print(json.dumps(report.to_payload(), indent=2, sort_keys=True), file=out)
+    else:
+        print(report.render(), file=out)
     return 0 if report.ok else 1
+
+
+def _result_file_op_profile(path) -> dict:
+    """The op_profile header field of one result_*.txt (or {})."""
+    first = path.read_text().partition("\n")[0]
+    if not first.startswith("# repro-run "):
+        return {}
+    try:
+        header = json.loads(first[len("# repro-run "):])
+    except json.JSONDecodeError:
+        return {}
+    return header.get("op_profile") or {}
+
+
+def _cmd_profile(args, out) -> int:
+    from pathlib import Path
+
+    from .telemetry import merge_op_profiles, render_op_profile
+
+    path = Path(args.path)
+    if path.is_file():
+        sources = [path]
+    elif path.is_dir():
+        # Works on a submission directory, a campaign directory (per-job
+        # results live under jobs/), or anything containing result files.
+        sources = sorted(path.rglob("result_*.txt"))
+    else:
+        print(f"no such file or directory: {path}", file=out)
+        return 2
+    profiles = [p for p in (_result_file_op_profile(f) for f in sources) if p]
+    if not profiles:
+        print(f"no op profiles found under {path} — run with "
+              "REPRO_PROFILE=sampled (or full) to record one", file=out)
+        return 1
+    merged = merge_op_profiles(profiles)
+    if args.json:
+        print(json.dumps(merged, indent=2, sort_keys=True), file=out)
+    else:
+        print(f"{len(profiles)} profiled run(s) under {path}", file=out)
+        print(render_op_profile(merged), file=out)
+    return 0
+
+
+def _cmd_analyze(args, out) -> int:
+    from pathlib import Path
+
+    from .telemetry import analyze_campaign_dir, analyze_trace
+
+    path = Path(args.path)
+    try:
+        if path.is_dir():
+            analysis = analyze_campaign_dir(path, top=args.top)
+        elif path.is_file():
+            doc = json.loads(path.read_text())
+            analysis = analyze_trace(doc, top=args.top)
+        else:
+            print(f"no such file or directory: {path}", file=out)
+            return 2
+    except (ValueError, FileNotFoundError, json.JSONDecodeError) as exc:
+        print(f"analyze: {exc}", file=out)
+        return 2
+    if analysis.span_count == 0:
+        print(f"no spans found in {path}", file=out)
+        return 1
+    if args.json:
+        print(json.dumps(analysis.to_payload(), indent=2, sort_keys=True),
+              file=out)
+    else:
+        print(analysis.render(), file=out)
+    if args.folded:
+        Path(args.folded).write_text("\n".join(analysis.folded) + "\n")
+        print(f"folded stacks written to {args.folded} "
+              f"({len(analysis.folded)} line(s))", file=out)
+    return 0
+
+
+def _cmd_bench_profile(args, out) -> int:
+    from pathlib import Path
+
+    from .framework.microbench import bench_profile, gate_profile_failures
+    from .telemetry import render_op_profile
+
+    payload = bench_profile(steps=args.steps, repeats=args.repeats,
+                            sample_every=args.sample_every, smoke=args.smoke)
+    checks = payload["checks"]
+    base_ms = payload["timings_ns"]["baseline"] / 1e6
+    print(f"baseline (no telemetry): {base_ms:.2f}ms for "
+          f"{payload['steps']} step(s), min of {payload['repeats']}", file=out)
+    for mode in ("off", "sampled", "full"):
+        print(f"  {mode:<8} {payload['timings_ns'][mode] / 1e6:>9.2f}ms  "
+              f"overhead {checks[f'{mode}_overhead']:>6.1%}  "
+              f"[{'ok' if checks['bit_identical_by_mode'][mode] else 'DIVERGED'}]",
+              file=out)
+    print(f"  ops recorded (full mode): {checks['ops_recorded']}", file=out)
+    print(render_op_profile(payload["op_profile"]), file=out)
+
+    if args.out and args.out != "-":
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"report written to {path}", file=out)
+
+    if args.smoke:
+        failures = gate_profile_failures(
+            payload, max_sampled_overhead=args.max_overhead)
+        for failure in failures:
+            print(f"GATE FAILED: {failure}", file=out)
+        return 1 if failures else 0
+    return 0
 
 
 def _cmd_hp_table(args, out) -> int:
@@ -647,10 +836,13 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "monitor": _cmd_monitor,
     "bench-diff": _cmd_bench_diff,
+    "profile": _cmd_profile,
+    "analyze": _cmd_analyze,
     "hp-table": _cmd_hp_table,
     "simulate": _cmd_simulate,
     "bench-kernels": _cmd_bench_kernels,
     "bench-comms": _cmd_bench_comms,
+    "bench-profile": _cmd_bench_profile,
 }
 
 

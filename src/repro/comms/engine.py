@@ -180,8 +180,13 @@ class ShardedDataParallel:
                 for slot in self._writer.flush_missing():
                     self._missing[w, slot.index] = 1
             total_loss += float(loss.data)
+        from ..telemetry import current_profiler
+
         with tracer.span("all_reduce", algorithm=self.algorithm,
-                         num_workers=self.num_workers):
+                         num_workers=self.num_workers), \
+                current_profiler().op(
+                    "all_reduce", phase="comms",
+                    nbytes=self.layout.total_bytes * self.num_workers):
             for b, bucket in enumerate(self.layout.buckets):
                 contribs = [bufs[b] for bufs in self._worker_bufs]
                 self.reducer.reduce(self._out_bufs[b], contribs)
@@ -420,32 +425,41 @@ class ShardedDataParallel:
         for q in self._cmd_queues:
             q.put(("step", batch_layout))
 
+        from ..telemetry import current_profiler
+
         losses: dict[int, float] = {}
-        # Parent-owned reduction (flat): drain buckets as they become
-        # ready, while workers are still inside their backward passes.
-        for b, plan in enumerate(self._chunk_plan):
-            parent_chunks = [c for c in plan if c.owner == PARENT]
-            if not parent_chunks:
-                continue
-            self._parent_wait(self._ready_events[b], f"bucket {b} ready", losses)
-            contribs = [self._grad_views[r][b] for r in range(self.num_workers)]
-            for chunk in parent_chunks:
-                reduce_chunk(self._out_views[b], contribs, chunk.start, chunk.stop)
-                self._mark_chunk_done(b)
+        with current_profiler().op(
+                "all_reduce", phase="comms",
+                nbytes=self.layout.total_bytes * self.num_workers):
+            # Parent-owned reduction (flat): drain buckets as they become
+            # ready, while workers are still inside their backward passes.
+            for b, plan in enumerate(self._chunk_plan):
+                parent_chunks = [c for c in plan if c.owner == PARENT]
+                if not parent_chunks:
+                    continue
+                self._parent_wait(self._ready_events[b], f"bucket {b} ready",
+                                  losses)
+                contribs = [self._grad_views[r][b]
+                            for r in range(self.num_workers)]
+                for chunk in parent_chunks:
+                    reduce_chunk(self._out_views[b], contribs,
+                                 chunk.start, chunk.stop)
+                    self._mark_chunk_done(b)
 
-        for b, event in enumerate(self._reduced_events):
-            self._parent_wait(event, f"bucket {b} reduced", losses)
-        while len(losses) < self.num_workers:
-            try:
-                msg = self._result_q.get(timeout=self.timeout)
-            except Exception:
-                self._broken = True
-                raise RuntimeError(
-                    f"timed out after {self.timeout}s waiting for worker results"
-                ) from None
-            self._absorb_result(msg, losses)
+            for b, event in enumerate(self._reduced_events):
+                self._parent_wait(event, f"bucket {b} reduced", losses)
+            while len(losses) < self.num_workers:
+                try:
+                    msg = self._result_q.get(timeout=self.timeout)
+                except Exception:
+                    self._broken = True
+                    raise RuntimeError(
+                        f"timed out after {self.timeout}s waiting for worker "
+                        "results"
+                    ) from None
+                self._absorb_result(msg, losses)
 
-        self._unpack_grads(self._out_views, self._ctrl["missing"])
+            self._unpack_grads(self._out_views, self._ctrl["missing"])
         self._record_overlap_telemetry()
         self.optimizer.step()
         self.model.zero_grad()

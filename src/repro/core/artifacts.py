@@ -98,6 +98,10 @@ def save_run_result(path: str | Path, run: RunResult) -> Path:
             # Per-run sampled series (throughput, eval quality, arena hit
             # rate, ...) back `repro stats --series` on reloaded runs.
             "series": run.telemetry.series if run.telemetry is not None else None,
+            # The op-level profile (when the run sampled one) backs
+            # `repro profile` on saved artifacts.
+            "op_profile": (run.telemetry.op_profile
+                           if run.telemetry is not None else None),
         },
         sort_keys=True,
     )
@@ -156,6 +160,7 @@ def _parse_result_file(benchmark: str, path: Path) -> RunResult:
     raw_breakdown = header.get("breakdown")
     raw_metrics = header.get("metrics")
     raw_series = header.get("series")
+    raw_profile = header.get("op_profile")
     return RunResult(
         benchmark=benchmark,
         seed=int(header["seed"]),
@@ -168,8 +173,9 @@ def _parse_result_file(benchmark: str, path: Path) -> RunResult:
         log_lines=log_lines,
         breakdown=TimingBreakdown(**raw_breakdown) if raw_breakdown else None,
         telemetry=(
-            RunTelemetry(metrics=raw_metrics or {}, series=raw_series or {})
-            if raw_metrics or raw_series else None
+            RunTelemetry(metrics=raw_metrics or {}, series=raw_series or {},
+                         op_profile=raw_profile or {})
+            if raw_metrics or raw_series or raw_profile else None
         ),
     )
 

@@ -166,6 +166,10 @@ class BenchmarkRunner:
                 logger.event(Keys.RUN_STOP, status="error", error=type(exc).__name__)
                 tele.events.publish("run_stop", benchmark=spec.name, seed=seed,
                                     status="error", error=type(exc).__name__)
+                # Flush the trace before snapshotting: open spans don't
+                # export, so close anything the unwind didn't reach — a
+                # failed run must still leave a loadable partial trace.
+                tele.tracer.abort_open(error=type(exc).__name__)
                 raise RunFailure(
                     spec.name, seed, exc,
                     log_lines=logger.to_lines(),
@@ -257,6 +261,11 @@ class BenchmarkRunner:
                                             self.clock.now() - run_t0,
                                             epoch_dt, eps)
                     epochs_run = epoch
+                    # Sampling-window boundary AFTER the epoch (no-op when
+                    # off): the always-on window 0 then covers the first
+                    # epoch, so sampled mode records ops even on runs
+                    # shorter than one full sampling period.
+                    tele.profiler.step()
                     if epoch % self.eval_every == 0 or epoch == cap:
                         logger.event(Keys.EVAL_START, epoch_num=epoch)
                         eval_t0 = self.clock.now()
@@ -317,4 +326,5 @@ class BenchmarkRunner:
             trace_events=tele.tracer.chrome_events(),
             metrics=tele.metrics.snapshot(),
             series=series.to_payload() if series else {},
+            op_profile=tele.profiler.snapshot(),
         )

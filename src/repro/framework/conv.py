@@ -27,6 +27,7 @@ from __future__ import annotations
 import numpy as np
 
 from .config import kernel_mode
+from .prof import profiled_op
 from .tensor import Tensor, is_grad_enabled
 from .workspace import arena
 
@@ -200,6 +201,7 @@ def _conv2d_arena(x: Tensor, weight: Tensor, bias: Tensor | None,
 # Public kernels
 # ---------------------------------------------------------------------------
 
+@profiled_op("conv2d")
 def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None, stride: int = 1, pad: int = 0) -> Tensor:
     """2-D convolution (cross-correlation) via im2col + batched GEMM.
 
@@ -349,6 +351,7 @@ def _pool_fold(ws, dcol: np.ndarray, n: int, c: int, h: int, w: int,
     return img
 
 
+@profiled_op("max_pool2d")
 def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
     """Max pooling with square windows."""
     stride = stride or kernel
@@ -404,6 +407,7 @@ def _max_pool2d_arena(x: Tensor, kernel: int, stride: int, oh: int, ow: int) -> 
     return Tensor._make(out, (x,), backward)
 
 
+@profiled_op("avg_pool2d")
 def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
     """Average pooling with square windows."""
     stride = stride or kernel

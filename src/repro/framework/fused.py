@@ -19,6 +19,7 @@ import numpy as np
 
 from .config import kernel_mode
 from .conv import _conv2d_arena, _uniform_float_dtype, conv2d
+from .prof import profiled_op
 from .tensor import Tensor, _unbroadcast, is_grad_enabled
 from .workspace import arena
 
@@ -27,6 +28,7 @@ __all__ = ["conv2d_bias_relu", "linear_bias_act"]
 _ACTS = ("none", "relu")
 
 
+@profiled_op("conv2d_bias_relu")
 def conv2d_bias_relu(x: Tensor, weight: Tensor, bias: Tensor | None = None,
                      stride: int = 1, pad: int = 0) -> Tensor:
     """Fused ``relu(conv2d(x, w, b))`` — one graph node, in-place mask.
@@ -43,6 +45,7 @@ def conv2d_bias_relu(x: Tensor, weight: Tensor, bias: Tensor | None = None,
     return conv2d(x, weight, bias, stride=stride, pad=pad).relu()
 
 
+@profiled_op("linear")
 def linear_bias_act(x: Tensor, weight: Tensor, bias: Tensor | None = None,
                     act: str = "none") -> Tensor:
     """Fused affine map ``act(x @ W.T + b)`` (``act``: ``none`` | ``relu``).

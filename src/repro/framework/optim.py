@@ -18,6 +18,7 @@ import numpy as np
 
 from .config import kernel_mode
 from .module import Parameter
+from .prof import profiler
 from .workspace import arena
 
 __all__ = ["Optimizer", "SGD", "Adam", "LARS", "MOMENTUM_STYLES", "clip_grad_norm"]
@@ -55,6 +56,16 @@ class Optimizer:
             p.grad = None
 
     def step(self) -> None:
+        prof = profiler()
+        if prof.active:
+            nbytes = sum(p.data.nbytes + p.grad.nbytes for p in self.params
+                         if p.grad is not None)
+            with prof.op("optimizer_step", phase="update", nbytes=nbytes):
+                self.step_count += 1
+                for p in self.params:
+                    if p.grad is not None:
+                        self._update(p)
+            return
         self.step_count += 1
         for p in self.params:
             if p.grad is not None:

@@ -18,9 +18,28 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+from .prof import profiled_op, profiler
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "set_alloc_tracker"]
 
 _GRAD_ENABLED = True
+
+# Tensor-construction hook for per-phase memory accounting.  None (the
+# default) keeps ``Tensor.__init__`` at a single global check; the
+# telemetry session installs the profiler's tracker only while profiling.
+_ALLOC_TRACKER: Callable[[int], None] | None = None
+
+
+def set_alloc_tracker(tracker: Callable[[int], None] | None):
+    """Install a ``tracker(nbytes)`` called per tensor construction.
+
+    Returns the previous tracker so callers can restore it (the
+    install/restore pair lives in ``Telemetry.activate``).
+    """
+    global _ALLOC_TRACKER
+    previous = _ALLOC_TRACKER
+    _ALLOC_TRACKER = tracker
+    return previous
 
 
 class no_grad:
@@ -97,6 +116,8 @@ class Tensor:
 
     def __init__(self, data, requires_grad: bool = False, name: str | None = None):
         self.data = data if isinstance(data, np.ndarray) else _as_array(data)
+        if _ALLOC_TRACKER is not None:
+            _ALLOC_TRACKER(self.data.nbytes)
         self.grad: np.ndarray | None = None
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self._backward: Callable[[], None] | None = None
@@ -229,17 +250,26 @@ class Tensor:
                     stack.append((parent, False))
 
         self.grad = grad.copy() if self.grad is None else self.grad + grad
-        # Reverse topological order guarantees every consumer of ``node`` has
-        # already propagated when ``node`` is visited — so at that point
-        # ``node.grad`` is final for this pass and its grad hooks may fire
-        # (leaf parameters fire roughly in reverse forward order, which is
-        # what gradient bucketing relies on for overlap).
-        for node in reversed(topo):
-            if node._backward is not None and node.grad is not None:
-                node._backward()
-            if node._grad_hooks and node.grad is not None:
-                for hook in tuple(node._grad_hooks):
-                    hook(node)
+        # While the reverse walk runs, forward-path records from ops built
+        # inside backward closures belong to the backward phase.
+        prof = profiler()
+        prev_phase = prof.phase
+        if prof.active:
+            prof.phase = "backward"
+        try:
+            # Reverse topological order guarantees every consumer of ``node``
+            # has already propagated when ``node`` is visited — so at that
+            # point ``node.grad`` is final for this pass and its grad hooks
+            # may fire (leaf parameters fire roughly in reverse forward
+            # order, which is what gradient bucketing relies on for overlap).
+            for node in reversed(topo):
+                if node._backward is not None and node.grad is not None:
+                    node._backward()
+                if node._grad_hooks and node.grad is not None:
+                    for hook in tuple(node._grad_hooks):
+                        hook(node)
+        finally:
+            prof.phase = prev_phase
 
     # ------------------------------------------------------------------
     # Arithmetic
@@ -332,6 +362,7 @@ class Tensor:
 
         return Tensor._make(np.power(self.data, exponent), (self,), backward)
 
+    @profiled_op("gemm")
     def __matmul__(self, other) -> "Tensor":
         other = Tensor._coerce(other)
 
@@ -385,6 +416,7 @@ class Tensor:
 
         return Tensor._make(result, (self,), backward)
 
+    @profiled_op("tanh")
     def tanh(self) -> "Tensor":
         result = np.tanh(self.data)
 
@@ -393,6 +425,7 @@ class Tensor:
 
         return Tensor._make(result, (self,), backward)
 
+    @profiled_op("sigmoid")
     def sigmoid(self) -> "Tensor":
         # Numerically stable in both tails.
         result = np.where(
@@ -406,6 +439,7 @@ class Tensor:
 
         return Tensor._make(result, (self,), backward)
 
+    @profiled_op("relu")
     def relu(self) -> "Tensor":
         mask = self.data > 0
 

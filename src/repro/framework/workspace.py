@@ -58,6 +58,12 @@ class Workspace:
         self.hits = 0
         self.misses = 0
         self.bytes_allocated = 0
+        # Memory accounting: bytes_requested counts every borrow whether
+        # or not it hit the pool, so requested - allocated is the reuse
+        # saving; live/peak track outstanding borrow footprint.
+        self.bytes_requested = 0
+        self.live_bytes = 0
+        self.peak_live_bytes = 0
 
     # -- borrow / release ----------------------------------------------------
     def take(self, shape: tuple[int, ...] | int, dtype=np.float32) -> np.ndarray:
@@ -84,6 +90,10 @@ class Workspace:
             self.bytes_allocated += flat.nbytes
             _metrics_counter("kernel_arena_misses").inc()
             _metrics_counter("kernel_arena_bytes_allocated").inc(flat.nbytes)
+        self.bytes_requested += flat.nbytes
+        self.live_bytes += flat.nbytes
+        if self.live_bytes > self.peak_live_bytes:
+            self.peak_live_bytes = self.live_bytes
         view = flat.reshape(shape)
         borrow_id = id(view)
         ref = weakref.ref(view, lambda wr, b=borrow_id: self._reclaim(b, wr))
@@ -103,6 +113,7 @@ class Workspace:
                 "a live borrow (double release, or foreign buffer)"
             )
         key, flat, _ref = entry
+        self.live_bytes -= flat.nbytes
         self._pool.setdefault(key, []).append(flat)
 
     def release_all(self, bufs: Iterable[np.ndarray]) -> None:
@@ -124,6 +135,7 @@ class Workspace:
         if entry is not None and entry[2] is wr:
             del self._live[borrow_id]
             key, flat, _ = entry
+            self.live_bytes -= flat.nbytes
             self._pool.setdefault(key, []).append(flat)
 
     # -- introspection -------------------------------------------------------
@@ -140,21 +152,36 @@ class Workspace:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    @property
+    def bytes_saved(self) -> int:
+        """Allocator traffic avoided by reuse: requested minus allocated."""
+        return self.bytes_requested - self.bytes_allocated
+
     def stats(self) -> dict[str, float]:
         return {
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": self.hit_rate,
             "bytes_allocated": self.bytes_allocated,
+            "bytes_requested": self.bytes_requested,
+            "bytes_saved": self.bytes_saved,
+            "live_bytes": self.live_bytes,
+            "peak_live_bytes": self.peak_live_bytes,
             "pooled_bytes": self.pooled_bytes,
             "live": self.live_count,
         }
 
     def reset_stats(self) -> None:
-        """Zero the hit/miss/bytes counters (pool contents are kept)."""
+        """Zero the hit/miss/bytes counters (pool contents are kept).
+
+        The live-borrow footprint is state, not a counter — it survives,
+        and the peak restarts from the current live level.
+        """
         self.hits = 0
         self.misses = 0
         self.bytes_allocated = 0
+        self.bytes_requested = 0
+        self.peak_live_bytes = self.live_bytes
 
     def clear(self) -> None:
         """Drop every pooled buffer and forget live-borrow tracking.
@@ -164,6 +191,8 @@ class Workspace:
         """
         self._pool.clear()
         self._live.clear()
+        self.live_bytes = 0
+        self.peak_live_bytes = 0
 
 
 _LOCAL = threading.local()
@@ -203,6 +232,8 @@ def record_arena_gauges(metrics=None) -> dict[str, float]:
     metrics.gauge("kernel_arena_hit_rate").set(stats["hit_rate"])
     metrics.gauge("kernel_arena_live_borrows").set(stats["live"])
     metrics.gauge("kernel_arena_pooled_bytes").set(stats["pooled_bytes"])
+    metrics.gauge("kernel_arena_peak_live_bytes").set(stats["peak_live_bytes"])
+    metrics.gauge("kernel_arena_bytes_saved").set(stats["bytes_saved"])
     from ..telemetry import current_events
 
     current_events().publish("arena_stats", arena=ws.name, **stats)

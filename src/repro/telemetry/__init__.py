@@ -21,7 +21,14 @@ measurement substrate for that decomposition:
 - :mod:`repro.telemetry.monitor` — the ``repro monitor`` view, built
   purely from a campaign directory's journal + heartbeat + event files;
 - :mod:`repro.telemetry.regress` — schema-aware ``BENCH_*.json``
-  comparison with per-metric tolerance bands (``repro bench-diff``).
+  comparison with per-metric tolerance bands (``repro bench-diff``),
+  with per-op regression attribution when a timing gate trips;
+- :mod:`repro.telemetry.opprof` — the sampled op-level profiler
+  (``REPRO_PROFILE=off|sampled|full``) recording per-op call counts,
+  wall time, and bytes moved for forward/backward/update/comms;
+- :mod:`repro.telemetry.analyze` — the trace-analysis engine
+  (``repro analyze``): cross-process merge, critical path, comms/compute
+  overlap, top-k spans and gaps, folded-stacks export.
 
 Telemetry is **zero-overhead by default**: the ambient tracer and
 registry are disabled no-ops until a :class:`Telemetry` session is
@@ -38,6 +45,7 @@ from .trace import (
     Span,
     Tracer,
     chrome_trace_from_intervals,
+    dedupe_metadata_events,
     metadata_events,
 )
 from .events import (
@@ -65,10 +73,24 @@ from .monitor import (
     render_monitor_view,
 )
 from .regress import (
+    AttributionRow,
     MetricSpec,
     RegressionReport,
+    attribute_regression,
     compare_reports,
     load_report,
+)
+from .opprof import (
+    OpProfiler,
+    merge_op_profiles,
+    profile_mode_from_env,
+    render_op_profile,
+)
+from .analyze import (
+    TraceAnalysis,
+    analyze_campaign_dir,
+    analyze_trace,
+    spans_from_events,
 )
 from .metrics import (
     Counter,
@@ -83,6 +105,7 @@ from .context import (
     activate,
     current_events,
     current_metrics,
+    current_profiler,
     current_telemetry,
     current_tracer,
 )
@@ -96,6 +119,7 @@ from .profile import (
 )
 
 __all__ = [
+    "AttributionRow",
     "Counter",
     "Event",
     "EventBus",
@@ -112,6 +136,7 @@ __all__ = [
     "NULL_EVENTS",
     "NULL_METRICS",
     "NULL_SPAN",
+    "OpProfiler",
     "PhaseDecomposition",
     "RegressionReport",
     "RunSeries",
@@ -119,26 +144,36 @@ __all__ = [
     "SeriesPoint",
     "Span",
     "Telemetry",
+    "TraceAnalysis",
     "Tracer",
     "activate",
+    "analyze_campaign_dir",
+    "analyze_trace",
+    "attribute_regression",
     "build_view",
     "chrome_trace_from_intervals",
     "compare_reports",
     "current_events",
     "current_metrics",
+    "current_profiler",
     "current_telemetry",
     "current_tracer",
     "decompose_log_events",
+    "dedupe_metadata_events",
     "load_monitor_view",
     "load_report",
     "merge_event_streams",
+    "merge_op_profiles",
     "merge_snapshots",
     "merged_run_telemetry",
     "metadata_events",
+    "profile_mode_from_env",
+    "render_op_profile",
     "read_events",
     "read_heartbeat",
     "render_job_table",
     "render_monitor_view",
     "render_series_table",
+    "spans_from_events",
     "trace_from_log_events",
 ]

@@ -18,10 +18,13 @@ from contextvars import ContextVar
 
 from .events import EventBus
 from .metrics import NULL_METRICS, MetricsRegistry
+from .opprof import OpProfiler
 from .trace import Tracer
 
 __all__ = ["Telemetry", "activate", "current_telemetry", "current_tracer",
-           "current_metrics", "current_events"]
+           "current_metrics", "current_events", "current_profiler"]
+
+_UNSET = object()
 
 
 class Telemetry:
@@ -36,21 +39,40 @@ class Telemetry:
     def __init__(self, clock=None, enabled: bool = True, pid: int = 0,
                  process_name: str | None = None,
                  thread_name: str | None = None,
-                 events_clock=None):
+                 events_clock=None, profile: str | None = None,
+                 profile_every: int | None = None):
         self.enabled = enabled
         self.tracer = Tracer(clock=clock, enabled=enabled, pid=pid,
                              process_name=process_name,
                              thread_name=thread_name)
         self.metrics = MetricsRegistry(enabled=enabled) if enabled else NULL_METRICS
         self.events = EventBus(clock=events_clock, enabled=enabled, pid=pid)
+        # ``profile=None`` defers to REPRO_PROFILE (default "off"), so a
+        # session created without opinion stays zero-overhead.
+        self.profiler = OpProfiler(mode=profile, sample_every=profile_every,
+                                   enabled=enabled)
 
     @contextlib.contextmanager
     def activate(self):
-        """Make this session the ambient one for the enclosed extent."""
+        """Make this session the ambient one for the enclosed extent.
+
+        When profiling is on, the framework's tensor-allocation tracker is
+        installed for the same extent so per-phase memory accounting works
+        without the framework importing telemetry at load time.
+        """
         token = _ACTIVE.set(self)
+        prev_tracker = _UNSET
+        if self.profiler.mode != "off":
+            from ..framework.tensor import set_alloc_tracker
+
+            prev_tracker = set_alloc_tracker(self.profiler.note_alloc)
         try:
             yield self
         finally:
+            if prev_tracker is not _UNSET:
+                from ..framework.tensor import set_alloc_tracker
+
+                set_alloc_tracker(prev_tracker)
             _ACTIVE.reset(token)
 
     @staticmethod
@@ -78,6 +100,10 @@ def current_metrics() -> MetricsRegistry:
 
 def current_events() -> EventBus:
     return _ACTIVE.get().events
+
+
+def current_profiler() -> OpProfiler:
+    return _ACTIVE.get().profiler
 
 
 def activate(telemetry: Telemetry):

@@ -92,6 +92,32 @@ class MonitorView:
     def stalled_jobs(self) -> list[JobView]:
         return [j for j in self.jobs if j.stalled]
 
+    @property
+    def remaining(self) -> int:
+        """Cells that can still make progress."""
+        return sum(1 for j in self.jobs
+                   if j.status in ("pending", "running", "stalled"))
+
+    def completion(self) -> tuple[int, int, float | None]:
+        """(settled, total, fraction) — fraction None for empty campaigns.
+
+        All math is guarded: a campaign with zero planned cells, or one
+        where no job has made progress yet, yields None fractions, never
+        a ZeroDivisionError (the monitor must survive attaching at t=0).
+        """
+        total = len(self.jobs)
+        settled = sum(1 for j in self.jobs if j.status in _SETTLED)
+        return settled, total, (settled / total) if total else None
+
+    def rate_cells_per_s(self) -> float | None:
+        """Finished cells per second of mean TTT; None before progress."""
+        durations = [j.time_to_train_s for j in self.jobs
+                     if j.time_to_train_s is not None]
+        if not durations:
+            return None
+        mean = sum(durations) / len(durations)
+        return (1.0 / mean) if mean > 0 else None
+
     def eta_s(self) -> float | None:
         """Naive remaining-work estimate: mean finished-cell TTT x cells left.
 
@@ -100,11 +126,9 @@ class MonitorView:
         """
         durations = [j.time_to_train_s for j in self.jobs
                      if j.time_to_train_s is not None]
-        remaining = sum(1 for j in self.jobs
-                        if j.status in ("pending", "running", "stalled"))
-        if not durations or remaining == 0:
+        if not durations or self.remaining == 0:
             return None
-        return remaining * (sum(durations) / len(durations))
+        return self.remaining * (sum(durations) / len(durations))
 
 
 def _load_journal_doc(campaign_dir: Path) -> dict[str, Any]:
@@ -252,9 +276,18 @@ def render_monitor_view(view: MonitorView, *, recent_events: int = 6) -> str:
     head = (f"campaign: {len(benchmarks)} benchmark(s), " if benchmarks
             else "campaign: ") + f"{len(view.jobs)} cell(s)  [{summary or 'empty'}]"
     lines = [head]
-    eta = view.eta_s()
-    if eta is not None:
-        lines.append(f"  eta ~{eta:.1f}s (mean finished-cell TTT x cells left)")
+    settled, total, fraction = view.completion()
+    if total:
+        pct = "--" if fraction is None else f"{100.0 * fraction:.0f}%"
+        rate = view.rate_cells_per_s()
+        rate_txt = "--" if rate is None else f"{rate:.3g} cells/s"
+        lines.append(f"  progress {settled}/{total} ({pct}), rate {rate_txt}")
+    if view.remaining:
+        eta = view.eta_s()
+        # Before any cell has finished there is no basis for an estimate;
+        # render "--" rather than guessing (or crashing on empty math).
+        lines.append(f"  eta ~{eta:.1f}s (mean finished-cell TTT x cells left)"
+                     if eta is not None else "  eta ~--s (no finished cell yet)")
     if view.stalled_jobs:
         lines.append(
             f"  STALL: {len(view.stalled_jobs)} job(s) without a heartbeat "

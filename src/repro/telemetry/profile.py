@@ -45,6 +45,7 @@ class RunTelemetry:
     trace_events: list[dict[str, Any]] = field(default_factory=list)
     metrics: dict[str, dict[str, Any]] = field(default_factory=dict)
     series: dict[str, Any] = field(default_factory=dict)
+    op_profile: dict[str, Any] = field(default_factory=dict)
 
     def to_chrome_trace(self) -> dict[str, Any]:
         return {"traceEvents": list(self.trace_events), "displayTimeUnit": "ms"}
@@ -55,17 +56,25 @@ def merged_run_telemetry(snapshots: Iterable[RunTelemetry | None]) -> RunTelemet
 
     Trace events concatenate — each run's tracer already stamped its
     events with a distinct pid (the job ordinal), so parallel workers
-    land on separate, named process rows in the Chrome viewer.  Metrics
-    merge via :func:`~repro.telemetry.metrics.merge_snapshots`.  Series
-    stay per-run (a merged trajectory has no meaning) and are dropped
-    from the campaign-level view.
+    land on separate, named process rows in the Chrome viewer; metadata
+    events are deduped afterwards because retry attempts reuse their
+    cell's pid and would otherwise fight over the row label.  Metrics
+    merge via :func:`~repro.telemetry.metrics.merge_snapshots`, op
+    profiles via :func:`~repro.telemetry.opprof.merge_op_profiles`.
+    Series stay per-run (a merged trajectory has no meaning) and are
+    dropped from the campaign-level view.
     """
     from .metrics import merge_snapshots
+    from .opprof import merge_op_profiles
+    from .trace import dedupe_metadata_events
 
     present = [s for s in snapshots if s is not None]
     return RunTelemetry(
-        trace_events=[e for s in present for e in s.trace_events],
+        trace_events=dedupe_metadata_events(
+            e for s in present for e in s.trace_events),
         metrics=merge_snapshots(s.metrics for s in present),
+        op_profile=merge_op_profiles(
+            s.op_profile for s in present if s.op_profile),
     )
 
 

@@ -24,12 +24,13 @@ the build.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Any
 
 __all__ = ["MetricSpec", "RegressionRow", "RegressionReport",
-           "SCHEMA_METRICS", "compare_reports", "load_report"]
+           "AttributionRow", "SCHEMA_METRICS", "compare_reports",
+           "load_report", "attribute_regression"]
 
 
 @dataclass(frozen=True)
@@ -77,6 +78,16 @@ SCHEMA_METRICS: dict[str, tuple[MetricSpec, ...]] = {
         MetricSpec("checks.bit_identical", "exact"),
         MetricSpec("checks.best_speedup_by_workers.2", "higher", rel_tol=0.5),
     ),
+    # Profiler overhead: the sampled-mode ratio is the acceptance gate
+    # (documented < 5%; the band absorbs CI-host timing noise on top of
+    # the committed baseline's own ratio).
+    "repro.bench_profile.v1": (
+        MetricSpec("checks.ops_recorded", "exact"),
+        MetricSpec("checks.sampled_overhead", "lower", rel_tol=0.10,
+                   abs_tol=0.05),
+        MetricSpec("checks.off_overhead", "lower", rel_tol=0.10,
+                   abs_tol=0.05),
+    ),
 }
 
 
@@ -93,12 +104,31 @@ class RegressionRow:
     note: str = ""
 
 
+@dataclass(frozen=True)
+class AttributionRow:
+    """One op's contribution to a flagged timing regression.
+
+    Shares are fractions of the payload's total per-op time; the ranking
+    key is ``delta_share`` (how much of the pie the op *took over*), so a
+    uniformly-slower machine attributes to nothing while a genuinely
+    regressed op rises to the top.
+    """
+
+    op: str
+    baseline_ns: float
+    current_ns: float
+    baseline_share: float
+    current_share: float
+    delta_share: float
+
+
 @dataclass
 class RegressionReport:
     """Every gated metric's verdict for one (report, baseline) pair."""
 
     schema: str
     rows: list[RegressionRow] = field(default_factory=list)
+    attribution: list[AttributionRow] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -107,6 +137,16 @@ class RegressionReport:
     @property
     def regressions(self) -> list[RegressionRow]:
         return [row for row in self.rows if not row.ok]
+
+    def to_payload(self) -> dict[str, Any]:
+        """Machine-readable gate result (``bench-diff --json``)."""
+        return {
+            "schema_gated": self.schema,
+            "ok": self.ok,
+            "rows": [asdict(row) for row in self.rows],
+            "regressions": [row.path for row in self.regressions],
+            "attribution": [asdict(row) for row in self.attribution],
+        }
 
     def render(self) -> str:
         header = (
@@ -126,6 +166,17 @@ class RegressionReport:
             f"{len(self.rows)} metric(s) gated, "
             f"{len(self.regressions)} regression(s)"
         )
+        if self.attribution:
+            lines.append("attribution (op share of recorded time, "
+                         "baseline -> current):")
+            for row in self.attribution:
+                lines.append(
+                    f"  {row.op:<38}{100 * row.baseline_share:>6.1f}% ->"
+                    f"{100 * row.current_share:>6.1f}%  "
+                    f"(delta {100 * row.delta_share:+.1f}pp, "
+                    f"{row.baseline_ns / 1e6:.2f} -> "
+                    f"{row.current_ns / 1e6:.2f} ms)"
+                )
         return "\n".join(lines)
 
 
@@ -146,6 +197,64 @@ def _lookup(payload: dict[str, Any], path: str) -> Any:
             return None
         node = node[part]
     return node
+
+
+def _op_times(payload: dict[str, Any]) -> dict[str, float]:
+    """Per-op nanosecond totals from whatever timing table a report has.
+
+    Preference order: an attached ``op_profile`` (``phase/op`` keys,
+    self-time so nesting never double counts), else the kernel bench's
+    per-kernel ``ns_per_op`` table.  Empty dict when the payload carries
+    neither — attribution is then simply unavailable.
+    """
+    prof = payload.get("op_profile")
+    if isinstance(prof, dict) and prof.get("ops"):
+        times: dict[str, float] = {}
+        for phase, ops in prof["ops"].items():
+            for name, stat in ops.items():
+                if isinstance(stat, dict):
+                    times[f"{phase}/{name}"] = float(
+                        stat.get("self_ns", stat.get("total_ns", 0)))
+        return times
+    kernels = payload.get("kernels")
+    if isinstance(kernels, dict):
+        return {name: float(entry["ns_per_op"])
+                for name, entry in kernels.items()
+                if isinstance(entry, dict) and "ns_per_op" in entry}
+    return {}
+
+
+def attribute_regression(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    *,
+    top: int = 5,
+    min_delta_share: float = 0.01,
+) -> list[AttributionRow]:
+    """Rank ops by how much their share of total op time *grew*.
+
+    Share-of-total comparison deliberately cancels machine speed: if the
+    CI host is uniformly 2x slower, every op keeps its share and nothing
+    is attributed; an op whose kernel regressed takes over a bigger
+    slice.  Ops below ``min_delta_share`` (1pp by default) are noise and
+    dropped; ties break alphabetically so output is deterministic.
+    """
+    cur, base = _op_times(current), _op_times(baseline)
+    cur_total, base_total = sum(cur.values()), sum(base.values())
+    if cur_total <= 0 or base_total <= 0:
+        return []
+    rows = []
+    for op in sorted(set(cur) | set(base)):
+        b_ns, c_ns = base.get(op, 0.0), cur.get(op, 0.0)
+        b_share, c_share = b_ns / base_total, c_ns / cur_total
+        delta = c_share - b_share
+        if delta >= min_delta_share:
+            rows.append(AttributionRow(
+                op=op, baseline_ns=b_ns, current_ns=c_ns,
+                baseline_share=b_share, current_share=c_share,
+                delta_share=delta))
+    rows.sort(key=lambda r: (-r.delta_share, r.op))
+    return rows[:top]
 
 
 def load_report(path: str | Path) -> dict[str, Any]:
@@ -213,4 +322,9 @@ def compare_reports(
         ok = cur_num >= bound if spec.direction == "higher" else cur_num <= bound
         report.rows.append(RegressionRow(
             spec.path, spec.direction, base_num, cur_num, bound, ok))
+    # A flagged regression gets attributed to the ops whose share of the
+    # recorded op time moved — *which* kernel got slower, not just that
+    # something did.  Needs op timing tables on both sides.
+    if not report.ok:
+        report.attribution = attribute_regression(current, baseline)
     return report

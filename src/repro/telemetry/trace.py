@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable
 
 __all__ = ["Span", "Tracer", "NULL_SPAN", "chrome_trace_from_intervals",
-           "metadata_events"]
+           "metadata_events", "dedupe_metadata_events"]
 
 
 def metadata_events(pid: int, process_name: str | None = None,
@@ -48,6 +48,42 @@ def metadata_events(pid: int, process_name: str | None = None,
                        "ts": 0, "pid": pid, "tid": tid,
                        "args": {"name": thread_name}})
     return events
+
+
+def dedupe_metadata_events(events: Iterable[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Collapse colliding ``"M"`` metadata in a merged event list.
+
+    Campaign cells reuse pids across retry attempts, so a merged trace can
+    carry several ``process_name`` events for one pid.  Chrome keeps only
+    whichever it parses last — which label survives then depends on merge
+    order.  Here exact duplicates collapse to one, and *conflicting*
+    labels for the same (pid, tid, row) merge into a single event whose
+    name joins the distinct labels in first-seen order, so no attempt's
+    identity is silently dropped.  Non-metadata events pass through
+    untouched, in order, after the metadata block.
+    """
+    meta: dict[tuple[Any, Any, Any], dict[str, Any]] = {}
+    labels: dict[tuple[Any, Any, Any], list[str]] = {}
+    rest: list[dict[str, Any]] = []
+    for event in events:
+        if event.get("ph") != "M":
+            rest.append(event)
+            continue
+        key = (event.get("pid"), event.get("tid"), event.get("name"))
+        label = str(event.get("args", {}).get("name", ""))
+        if key not in meta:
+            meta[key] = dict(event)
+            labels[key] = [label]
+        elif label not in labels[key]:
+            labels[key].append(label)
+    out = []
+    for key, event in meta.items():
+        if len(labels[key]) > 1:
+            event = dict(event)
+            event["args"] = {**event.get("args", {}),
+                             "name": " | ".join(labels[key])}
+        out.append(event)
+    return out + rest
 
 
 @dataclass
@@ -171,6 +207,28 @@ class Tracer:
     def open_spans(self) -> list[Span]:
         return list(self._stack)
 
+    def abort_open(self, error: str | None = None) -> int:
+        """Close every open span (innermost first) at the current clock.
+
+        A run that dies mid-epoch leaves its ``run``/``epoch`` spans open,
+        and :meth:`chrome_events` drops open spans — so without this a
+        failed run exported an *empty* trace, exactly when a trace is most
+        wanted.  The runner's failure path calls this before snapshotting;
+        each closed span is stamped ``aborted=True`` (plus ``error`` when
+        given) so viewers can tell truncation from completion.  Returns
+        the number of spans closed.
+        """
+        closed = 0
+        now = float(self.clock()) if self._stack else 0.0
+        while self._stack:
+            span = self._stack.pop()
+            span.end_s = now
+            span.args.setdefault("aborted", True)
+            if error is not None:
+                span.args.setdefault("error", error)
+            closed += 1
+        return closed
+
     def reset(self) -> None:
         self.spans.clear()
         self._stack.clear()
@@ -215,14 +273,20 @@ class Tracer:
 def chrome_trace_from_intervals(
     intervals: Iterable[tuple[str, float, float, dict[str, Any]]],
     pid: int = 0,
+    process_name: str | None = None,
+    thread_name: str | None = None,
 ) -> dict[str, Any]:
     """Build a Chrome trace document from ``(name, start_s, end_s, args)``.
 
     Used to reconstruct a viewable trace from sources that are not live
     tracers — chiefly the paired ``*_start``/``*_stop`` events of a saved
-    §4.1 training-session log.
+    §4.1 training-session log.  ``process_name``/``thread_name`` prepend
+    the matching metadata events so reconstructed rows are labelled like
+    live-tracer ones.
     """
-    events = [
+    events: list[dict[str, Any]] = metadata_events(
+        pid, process_name, thread_name)
+    events += [
         {
             "name": name,
             "cat": "repro",

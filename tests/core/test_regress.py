@@ -4,7 +4,12 @@ from pathlib import Path
 
 import pytest
 
-from repro.telemetry import MetricSpec, compare_reports, load_report
+from repro.telemetry import (
+    MetricSpec,
+    attribute_regression,
+    compare_reports,
+    load_report,
+)
 
 REPORTS_DIR = Path(__file__).resolve().parents[2] / "benchmarks" / "reports"
 
@@ -94,3 +99,71 @@ class TestCompareReports:
         report = compare_reports(older, baseline)
         row = next(r for r in report.rows if r.path == "speedup")
         assert not row.ok and row.note == "missing from report"
+
+
+class TestAttribution:
+    def _kernels_payload(self, conv_ns):
+        return {
+            "schema": "repro.bench_kernels.v1",
+            "checks": {"bit_identical": True, "conv_speedup": 2.0},
+            "arena": {"hit_rate": 0.95, "steady_state_bytes_allocated": 0},
+            "kernels": {
+                "conv2d_fwd_bwd": {"ns_per_op": conv_ns},
+                "linear_fwd_bwd": {"ns_per_op": 2_000_000},
+                "sgd_momentum_step": {"ns_per_op": 1_000_000},
+            },
+        }
+
+    def test_injected_slowdown_attributed_to_the_right_op(self):
+        baseline = self._kernels_payload(conv_ns=2_000_000)
+        current = self._kernels_payload(conv_ns=8_000_000)  # 4x slower conv
+        current["checks"]["conv_speedup"] = 0.5  # trips the gate
+        report = compare_reports(current, baseline)
+        assert not report.ok
+        assert report.attribution, "regression produced no attribution"
+        top = report.attribution[0]
+        assert top.op == "conv2d_fwd_bwd"
+        assert top.delta_share > 0.3  # 40% -> 72.7% of recorded time
+        # Only the regressed op crosses the noise floor.
+        assert [row.op for row in report.attribution] == ["conv2d_fwd_bwd"]
+
+    def test_uniform_slowdown_attributes_nothing(self):
+        # A 3x-slower machine keeps every op's share constant; attribution
+        # must stay silent rather than blame the largest kernel.
+        baseline = self._kernels_payload(conv_ns=2_000_000)
+        current = self._kernels_payload(conv_ns=6_000_000)
+        current["kernels"]["linear_fwd_bwd"]["ns_per_op"] *= 3
+        current["kernels"]["sgd_momentum_step"]["ns_per_op"] *= 3
+        assert attribute_regression(current, baseline) == []
+
+    def test_op_profile_takes_precedence_over_kernels_table(self):
+        def payload(conv_self_ns):
+            return {"op_profile": {"ops": {
+                "forward": {"conv2d": {"self_ns": conv_self_ns,
+                                       "total_ns": conv_self_ns},
+                            "linear": {"self_ns": 1_000}},
+            }}}
+        rows = attribute_regression(payload(9_000), payload(1_000))
+        assert rows[0].op == "forward/conv2d"
+
+    def test_passing_report_carries_no_attribution(self):
+        baseline = self._kernels_payload(conv_ns=2_000_000)
+        report = compare_reports(baseline, baseline)
+        assert report.ok and report.attribution == []
+
+    def test_payload_shape_round_trips_to_json(self):
+        import json
+
+        baseline = self._kernels_payload(conv_ns=2_000_000)
+        current = self._kernels_payload(conv_ns=8_000_000)
+        current["checks"]["bit_identical"] = False
+        report = compare_reports(current, baseline)
+        payload = json.loads(json.dumps(report.to_payload()))
+        assert payload["ok"] is False
+        assert payload["regressions"] == ["checks.bit_identical"]
+        assert payload["attribution"][0]["op"] == "conv2d_fwd_bwd"
+        assert {"baseline_share", "current_share", "delta_share"} <= \
+            set(payload["attribution"][0])
+
+    def test_attribution_unavailable_without_op_tables(self):
+        assert attribute_regression({"schema": "x"}, {"schema": "x"}) == []

@@ -189,6 +189,29 @@ class TestAbort:
         assert failed  # the failing epoch span carries the error tag
         assert excinfo.value.telemetry is not None
 
+    def test_failure_telemetry_is_a_loadable_partial_trace(self):
+        # Satellite: the snapshot riding on RunFailure must already hold
+        # the exported (closed) spans, so the CLI can write a trace file
+        # without touching the live tracer again.
+        clock = FakeClock()
+        bench = _ExplodingBenchmark(clock=clock, epoch_cost_s=1.0)
+        tele = Telemetry(clock=clock, profile="full")
+        runner = BenchmarkRunner(clock=clock)
+        with pytest.raises(RunFailure) as excinfo:
+            runner.run(bench, seed=0, telemetry=tele)
+        snap = excinfo.value.telemetry
+        names = {e["name"] for e in snap.trace_events if e.get("ph") == "X"}
+        assert "epoch" in names  # aborted spans exported anyway
+        assert any(n.startswith("run:") for n in names)
+        tagged = [e for e in snap.trace_events
+                  if e.get("args", {}).get("error") == "ArithmeticError"]
+        assert tagged  # the unwound spans carry the failure tag
+        json.dumps(snap.trace_events)  # serializable as-is
+        # The profiler snapshot flushed too: one sampled window ran
+        # before the blast.
+        assert snap.op_profile.get("mode") == "full"
+        assert snap.op_profile.get("steps_sampled", 0) >= 1
+
 
 class TestMLLogParsing:
     JUNK = [

@@ -140,3 +140,49 @@ class TestBuildView:
         job = view.jobs[0]
         assert job.status == "running"
         assert job.attempts == 2
+
+
+class TestProgressAndEtaGuards:
+    def test_no_progress_renders_dashes_not_division_errors(self):
+        # Fresh campaign, nothing finished: rate and ETA have no data yet.
+        view = build_view(job_records={},
+                          planned_cells=[("fake", 0), ("fake", 1)],
+                          now_s=100.0)
+        assert view.completion() == (0, 2, 0.0)
+        assert view.rate_cells_per_s() is None
+        assert view.eta_s() is None
+        rendered = render_monitor_view(view)
+        assert "progress 0/2 (0%), rate --" in rendered
+        assert "eta ~--s (no finished cell yet)" in rendered
+
+    def test_empty_campaign_renders_without_progress_lines(self):
+        view = build_view(job_records={}, planned_cells=[], now_s=0.0)
+        assert view.completion() == (0, 0, None)
+        rendered = render_monitor_view(view)
+        assert "progress" not in rendered and "eta" not in rendered
+
+    def test_zero_duration_records_do_not_divide_by_zero(self):
+        # Instant cells (the fake clock never advanced): mean TTT is 0, so
+        # the rate is unknowable rather than infinite.
+        view = build_view(
+            job_records={"fake/0": {"status": "reached", "attempts": 1,
+                                    "time_to_train_s": 0.0}},
+            planned_cells=[("fake", 0), ("fake", 1)],
+            now_s=100.0)
+        assert view.rate_cells_per_s() is None
+        assert view.eta_s() == 0.0
+        render_monitor_view(view)  # must not raise
+
+    def test_partial_progress_reports_rate_and_eta(self):
+        view = build_view(
+            job_records={"fake/0": {"status": "reached", "attempts": 1,
+                                    "time_to_train_s": 4.0}},
+            planned_cells=[("fake", 0), ("fake", 1)],
+            now_s=100.0)
+        settled, total, fraction = view.completion()
+        assert (settled, total) == (1, 2) and fraction == 0.5
+        assert view.rate_cells_per_s() == 0.25  # 1 cell per 4s TTT
+        assert view.eta_s() == 4.0
+        rendered = render_monitor_view(view)
+        assert "progress 1/2 (50%)" in rendered
+        assert "0.25 cells/s" in rendered

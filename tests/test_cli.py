@@ -295,3 +295,184 @@ class TestBenchDiffCommand:
                              "--tolerance", "nonsense")
         assert code == 2
         assert "expected METRIC=REL_TOL" in text
+
+
+class TestBenchDiffJson:
+    BASELINE = "benchmarks/reports/BENCH_kernels.json"
+
+    def test_json_self_compare(self):
+        import json
+
+        code, text = run_cli("bench-diff", "--json", self.BASELINE, self.BASELINE)
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["ok"] is True
+        assert payload["regressions"] == []
+        assert payload["schema_gated"] == "repro.bench_kernels.v1"
+        assert all({"path", "direction", "baseline", "current", "ok"}
+                   <= set(row) for row in payload["rows"])
+
+    def test_json_regression_carries_attribution(self, tmp_path):
+        import json
+
+        baseline = json.loads(open(self.BASELINE).read())
+        current = json.loads(open(self.BASELINE).read())
+        current["checks"]["bit_identical"] = False
+        # Inject a 10x conv slowdown so attribution has something to rank.
+        current["kernels"]["conv2d_fwd_bwd"]["ns_per_op"] *= 10
+        fresh = tmp_path / "fresh.json"
+        fresh.write_text(json.dumps(current))
+        code, text = run_cli("bench-diff", "--json", str(fresh), self.BASELINE)
+        assert code == 1
+        payload = json.loads(text)
+        assert payload["ok"] is False
+        assert "checks.bit_identical" in payload["regressions"]
+        assert payload["attribution"][0]["op"] == "conv2d_fwd_bwd"
+
+
+class TestProfileCommand:
+    def test_profile_of_instrumented_run(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "full")
+        code, _ = run_cli("run", "recommendation", "--seeds", "2",
+                          "--save", str(tmp_path), "--submitter", "prof-test")
+        assert code == 0
+        code, text = run_cli("profile", str(tmp_path / "prof-test"))
+        assert code == 0
+        assert "2 profiled run(s)" in text
+        assert "forward" in text and "Share" in text
+
+    def test_profile_json_merges_runs(self, tmp_path, monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_PROFILE", "sampled")
+        run_cli("run", "recommendation", "--seeds", "1",
+                "--save", str(tmp_path), "--submitter", "prof-test")
+        code, text = run_cli("profile", str(tmp_path / "prof-test"), "--json")
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["schema"] == "repro.op_profile.v1"
+        assert payload["steps_sampled"] >= 1
+
+    def test_unprofiled_run_exits_one_with_hint(self, tmp_path):
+        run_cli("run", "recommendation", "--seeds", "1",
+                "--save", str(tmp_path), "--submitter", "plain")
+        code, text = run_cli("profile", str(tmp_path / "plain"))
+        assert code == 1
+        assert "REPRO_PROFILE" in text
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        code, text = run_cli("profile", str(tmp_path / "nope"))
+        assert code == 2
+        assert "no such file or directory" in text
+
+
+class TestAnalyzeCommand:
+    def test_analyze_trace_file_and_folded_export(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        code, _ = run_cli("run", "recommendation", "--seeds", "1",
+                          "--trace", str(trace))
+        assert code == 0
+        folded = tmp_path / "folded.txt"
+        code, text = run_cli("analyze", str(trace), "--folded", str(folded))
+        assert code == 0
+        assert "critical path" in text and "top spans" in text
+        lines = folded.read_text().splitlines()
+        assert lines and all(" " in l for l in lines)
+        # Folded format: semicolon-joined stack, space, integer microseconds.
+        stack, _, us = lines[0].rpartition(" ")
+        assert stack and us.isdigit()
+
+    def test_analyze_campaign_dir(self, tmp_path):
+        code, _ = run_cli("campaign", "recommendation", "--seeds", "2",
+                          "--save", str(tmp_path))
+        assert code == 0
+        code, text = run_cli("analyze", str(tmp_path))
+        assert code == 0
+        assert "run:recommendation" in text
+
+    def test_analyze_json_deterministic(self, tmp_path):
+        import json
+
+        trace = tmp_path / "trace.json"
+        run_cli("run", "recommendation", "--seeds", "1", "--trace", str(trace))
+        code, a = run_cli("analyze", str(trace), "--json")
+        assert code == 0
+        _, b = run_cli("analyze", str(trace), "--json")
+        assert a == b
+        assert json.loads(a)["schema"] == "repro.trace_analysis.v1"
+
+    def test_analyze_garbage_file(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("not json")
+        code, text = run_cli("analyze", str(bogus))
+        assert code == 2
+        assert "analyze:" in text
+
+    def test_analyze_missing_path(self, tmp_path):
+        code, _ = run_cli("analyze", str(tmp_path / "nope"))
+        assert code == 2
+
+
+class TestBenchProfileCommand:
+    def test_smoke_gate_and_report(self, tmp_path):
+        import json
+
+        report = tmp_path / "BENCH_profile.json"
+        # A 2-step/1-repeat loop is far too noisy to hold the real 5%
+        # overhead bound (CI's profile-smoke job owns that); this test
+        # checks the command plumbing, so the band is wide open.
+        code, text = run_cli("bench-profile", "--smoke", "--steps", "2",
+                             "--repeats", "1", "--max-overhead", "10.0",
+                             "-o", str(report))
+        assert code == 0
+        assert "baseline (no telemetry):" in text
+        assert "ops recorded (full mode): 5" in text
+        payload = json.loads(report.read_text())
+        assert payload["schema"] == "repro.bench_profile.v1"
+        assert payload["checks"]["bit_identical"] is True
+
+    def test_impossible_overhead_bound_fails_gate(self, tmp_path):
+        code, text = run_cli("bench-profile", "--smoke", "--steps", "2",
+                             "--repeats", "1", "--max-overhead", "0.0",
+                             "-o", "-")
+        # Zero tolerance: any measured overhead at all trips the gate.
+        if code == 1:
+            assert "GATE FAILED" in text
+        else:  # a lucky timing run can legitimately measure 0 overhead
+            assert code == 0
+
+
+class TestFailedRunTraceFlush:
+    def test_failed_run_writes_partial_trace(self, tmp_path, monkeypatch):
+        """Satellite: a crashed run still leaves a loadable trace file."""
+        import json
+
+        from repro.core import runner as runner_mod
+        from repro.telemetry import RunTelemetry
+
+        events = [{"name": "run", "ph": "X", "ts": 0, "dur": 7_000_000,
+                   "pid": 0, "tid": 0, "args": {"aborted": True}},
+                  {"name": "epoch", "ph": "X", "ts": 0, "dur": 5_000_000,
+                   "pid": 0, "tid": 0,
+                   "args": {"aborted": True, "error": "ValueError"}}]
+
+        def explode(self, benchmark, *, seed=0, **kwargs):
+            raise runner_mod.RunFailure(
+                benchmark=benchmark.spec.name, seed=seed,
+                cause=ValueError("injected crash"), log_lines=[],
+                telemetry=RunTelemetry(trace_events=events))
+
+        monkeypatch.setattr(runner_mod.BenchmarkRunner, "run", explode)
+        trace = tmp_path / "trace.json"
+        code, text = run_cli("run", "recommendation", "--seeds", "1",
+                             "--trace", str(trace))
+        assert code == 1
+        assert "partial: run failed" in text
+        doc = json.loads(trace.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert {"run", "epoch"} <= names
+        assert any(e["args"].get("aborted") for e in doc["traceEvents"])
+        # And the partial trace is analyzable like any other.
+        code, text = run_cli("analyze", str(trace))
+        assert code == 0
+        assert "epoch" in text
