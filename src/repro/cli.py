@@ -57,7 +57,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("table1", help="print the benchmark suite (Table 1)")
+    table1 = sub.add_parser("table1", help="print the benchmark suite (Table 1)")
+    table1.add_argument("--json", action="store_true",
+                        help="emit the suite as JSON (name, dataset, model, "
+                             "thresholds, hyperparameters) for external drivers")
 
     run = sub.add_parser("run", help="run timed training sessions of a benchmark")
     run.add_argument("benchmark", help="benchmark name (see `repro table1`)")
@@ -284,6 +287,69 @@ def build_parser() -> argparse.ArgumentParser:
     comms.add_argument("-o", "--out", metavar="FILE",
                        default="benchmarks/reports/BENCH_comms.json",
                        help="report path (default %(default)s; '-' to skip writing)")
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="serve trained models under generated query streams (MLPerf "
+             "Inference scenarios): per-scenario latency percentiles, "
+             "constraint verdicts, and max sustainable QPS by binary search")
+    loadgen.add_argument("--benchmark", action="append", default=[],
+                         metavar="NAME",
+                         help="benchmark to serve (repeatable; --smoke "
+                              "defaults to image_classification + "
+                              "recommendation)")
+    loadgen.add_argument("--scenario", default="all",
+                         choices=["single_stream", "server", "offline", "all"],
+                         help="which scenario to run (default: all three)")
+    loadgen.add_argument("--artifact", action="append", default=[],
+                         metavar="FILE",
+                         help="saved result_*.txt to serve, matched to "
+                              "--benchmark in order; a short training run is "
+                              "executed and saved when omitted")
+    loadgen.add_argument("--queries", type=int, default=None,
+                         help="queries per scenario (default 128; 48 with "
+                              "--smoke)")
+    loadgen.add_argument("--warmup", type=int, default=None,
+                         help="warmup queries discarded from the measured "
+                              "window (default: queries // 16)")
+    loadgen.add_argument("--target-qps", type=float, default=100.0,
+                         help="server scenario Poisson arrival rate "
+                              "(default 100)")
+    loadgen.add_argument("--latency-bound", type=float, default=None,
+                         metavar="SECONDS",
+                         help="latency bound for the percentile constraints "
+                              "(default 0.1s; 0.025s with --smoke, tight "
+                              "enough that the max-QPS search meets a real "
+                              "queueing limit)")
+    loadgen.add_argument("--timing", choices=["wall", "virtual"], default=None,
+                         help="per-query service-time source: 'wall' measures "
+                              "the monotonic clock, 'virtual' draws from the "
+                              "seeded service model so every statistic is "
+                              "bit-identical across reruns and machines "
+                              "(default wall; virtual with --smoke)")
+    loadgen.add_argument("--seed", type=int, default=0,
+                         help="query-stream seed (default 0)")
+    loadgen.add_argument("--workers", type=int, default=1,
+                         help="serving worker processes (>1 forks a "
+                              "shared-memory serving pool; requires fork)")
+    loadgen.add_argument("--train-epochs", type=int, default=1,
+                         help="epoch cap for the inline training run when no "
+                              "--artifact is given (default 1)")
+    loadgen.add_argument("--no-rerun", dest="rerun", action="store_false",
+                         help="skip the same-seed determinism rerun")
+    loadgen.add_argument("--save", metavar="DIR",
+                         help="write the serving event stream (and any "
+                              "inline-trained artifacts) under DIR; `repro "
+                              "analyze DIR` then renders the serving run")
+    loadgen.add_argument("--smoke", action="store_true",
+                         help="fast CI variant: two workloads, virtual "
+                              "timing, small query counts; exit non-zero on "
+                              "any invalid scenario, nondeterministic rerun, "
+                              "or failed QPS search")
+    loadgen.add_argument("-o", "--out", metavar="FILE",
+                         default="benchmarks/reports/BENCH_loadgen.json",
+                         help="report path (default %(default)s; '-' to skip "
+                              "writing)")
     return parser
 
 
@@ -300,10 +366,13 @@ def _parse_overrides(pairs: list[str]) -> dict:
     return overrides
 
 
-def _cmd_table1(_args, out) -> int:
-    from .suite import table1
+def _cmd_table1(args, out) -> int:
+    from .suite import table1, table1_payload
 
-    print(table1(), file=out)
+    if getattr(args, "json", False):
+        print(json.dumps(table1_payload(), indent=2, sort_keys=True), file=out)
+    else:
+        print(table1(), file=out)
     return 0
 
 
@@ -826,6 +895,120 @@ def _cmd_bench_comms(args, out) -> int:
     return 0
 
 
+def _cmd_loadgen(args, out) -> int:
+    import tempfile
+    from pathlib import Path
+
+    from .loadgen import (
+        SCENARIO_NAMES,
+        build_loadgen_payload,
+        default_scenarios,
+        find_max_qps,
+        gate_failures,
+        load_sut,
+        render_loadgen_report,
+        run_scenario,
+        train_and_save,
+    )
+    from .suite import REGISTRY
+    from .telemetry import EventLog, Telemetry
+
+    benchmarks = list(args.benchmark) or (
+        ["image_classification", "recommendation"] if args.smoke else [])
+    if not benchmarks:
+        print("pass --benchmark NAME (repeatable), or --smoke for the "
+              "default two-workload set", file=out)
+        return 2
+    unknown = [b for b in benchmarks if b not in REGISTRY]
+    if unknown:
+        print(f"unknown benchmark(s): {unknown}; see `repro table1`", file=out)
+        return 2
+    if len(args.artifact) > len(benchmarks):
+        print("more --artifact paths than --benchmark names", file=out)
+        return 2
+
+    timing = args.timing or ("virtual" if args.smoke else "wall")
+    queries = args.queries or (48 if args.smoke else 128)
+    warmup = args.warmup if args.warmup is not None else max(queries // 16, 1)
+    latency_bound = (args.latency_bound if args.latency_bound is not None
+                     else (0.025 if args.smoke else 0.1))
+    selected = (SCENARIO_NAMES if args.scenario == "all"
+                else (args.scenario,))
+
+    telemetry = Telemetry()
+    log = None
+    if args.save:
+        log = EventLog(Path(args.save) / "events" / "loadgen.jsonl", mode="w")
+        telemetry.events.subscribe(log.write)
+
+    tmp = tempfile.TemporaryDirectory(prefix="repro-loadgen-")
+    artifact_dir = (Path(args.save) / "artifacts" if args.save
+                    else Path(tmp.name))
+    try:
+        with telemetry.activate():
+            artifacts: dict[str, Path] = {}
+            for i, name in enumerate(benchmarks):
+                if i < len(args.artifact):
+                    artifacts[name] = Path(args.artifact[i])
+                else:
+                    path = artifact_dir / f"result_{name}.txt"
+                    print(f"{name}: no --artifact; training "
+                          f"{args.train_epochs} epoch(s) -> {path}", file=out)
+                    train_and_save(name, path, seed=args.seed,
+                                   max_epochs=args.train_epochs)
+                    artifacts[name] = path
+
+            results: dict[str, list] = {}
+            reruns: dict[str, list] = {}
+            passes = ((results, reruns) if args.rerun else (results,))
+            for name in benchmarks:
+                specs = default_scenarios(
+                    query_count=queries, warmup_queries=warmup,
+                    target_qps=args.target_qps,
+                    latency_bound_s=latency_bound)
+                for bucket in passes:
+                    # Each pass rebuilds the SUT from the artifact — the
+                    # determinism check covers the full load-and-serve path.
+                    sut = load_sut(artifacts[name], workers=args.workers)
+                    try:
+                        bench_results = []
+                        for scenario in selected:
+                            res = run_scenario(sut, specs[scenario],
+                                               seed=args.seed, timing=timing)
+                            if scenario == "server":
+                                res.max_qps = find_max_qps(
+                                    sut, specs["server"], seed=args.seed,
+                                    timing=timing)
+                            bench_results.append(res)
+                        bucket[name] = bench_results
+                    finally:
+                        sut.close()
+    finally:
+        if log is not None:
+            log.close()
+        tmp.cleanup()
+
+    payload = build_loadgen_payload(results, reruns if args.rerun else None,
+                                    timing=timing, seed=args.seed)
+    print(render_loadgen_report(payload), file=out)
+
+    if args.out and args.out != "-":
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"report written to {path}", file=out)
+    if args.save:
+        print(f"serving events written under {args.save} "
+              f"(render with `repro analyze {args.save}`)", file=out)
+
+    if args.smoke:
+        failures = gate_failures(payload)
+        for failure in failures:
+            print(f"GATE FAILED: {failure}", file=out)
+        return 1 if failures else 0
+    return 0 if payload["checks"]["all_valid"] else 1
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "run": _cmd_run,
@@ -843,6 +1026,7 @@ _COMMANDS = {
     "bench-kernels": _cmd_bench_kernels,
     "bench-comms": _cmd_bench_comms,
     "bench-profile": _cmd_bench_profile,
+    "loadgen": _cmd_loadgen,
 }
 
 

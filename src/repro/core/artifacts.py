@@ -22,6 +22,8 @@ import json
 from dataclasses import asdict
 from pathlib import Path
 
+import numpy as np
+
 from ..suite.base import BenchmarkSpec
 from ..telemetry import RunTelemetry
 from .mllog import Keys, MLLogger, iter_log_lines, parse_log_lines
@@ -80,8 +82,18 @@ def save_run_result(path: str | Path, run: RunResult) -> Path:
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    # Trained parameters go in an .npz sidecar next to the text file (the
+    # log format stays line-oriented and auditable); the header records the
+    # sidecar's name so the round-trip needs only the result file's path.
+    params_name = None
+    if run.model_state:
+        sidecar = path.with_name(path.stem + ".params.npz")
+        np.savez(sidecar, **run.model_state)
+        params_name = sidecar.name
     header = json.dumps(
         {
+            "benchmark": run.benchmark,
+            "model_params": params_name,
             "seed": run.seed,
             "hyperparameters": _scrub(run.hyperparameters),
             "time_to_train_s": run.time_to_train_s,
@@ -109,8 +121,15 @@ def save_run_result(path: str | Path, run: RunResult) -> Path:
     return path
 
 
-def load_run_result(benchmark: str, path: str | Path) -> RunResult:
-    """Read one ``result_*.txt``-format file back into a :class:`RunResult`."""
+def load_run_result(benchmark: str | Path | None, path: str | Path | None = None) -> RunResult:
+    """Read one ``result_*.txt``-format file back into a :class:`RunResult`.
+
+    The benchmark name may be omitted (``load_run_result(path)``) for files
+    written by this version, whose header records it; the two-argument form
+    stays for older artifacts and directory-layout callers.
+    """
+    if path is None:
+        benchmark, path = None, benchmark
     return _parse_result_file(benchmark, Path(path))
 
 
@@ -146,13 +165,28 @@ def load_submission(submitter_dir: str | Path) -> Submission:
     return submission
 
 
-def _parse_result_file(benchmark: str, path: Path) -> RunResult:
+def _parse_result_file(benchmark: str | None, path: Path) -> RunResult:
     text = path.read_text()
     first, _, rest = text.partition("\n")
     if not first.startswith("# repro-run "):
         raise ValueError(f"{path}: missing run header")
     header = json.loads(first[len("# repro-run "):])
+    if benchmark is None:
+        benchmark = header.get("benchmark")
+        if not benchmark:
+            raise ValueError(
+                f"{path}: header records no benchmark name; pass it explicitly"
+            )
     log_lines = [line for line in rest.splitlines() if line.strip()]
+    # Rehydrate the trained parameters when the sidecar is present; a run
+    # copied without its .params.npz still loads (it just isn't servable).
+    model_state = None
+    params_name = header.get("model_params")
+    if params_name:
+        sidecar = path.with_name(params_name)
+        if sidecar.exists():
+            with np.load(sidecar) as npz:
+                model_state = {key: npz[key].copy() for key in npz.files}
     # Streaming parse tolerates a truncated final log line, so a result
     # file from a killed worker still reviews/reloads cleanly.
     history = [float(e.value) for e in iter_log_lines(rest.splitlines())
@@ -177,6 +211,7 @@ def _parse_result_file(benchmark: str, path: Path) -> RunResult:
                          op_profile=raw_profile or {})
             if raw_metrics or raw_series or raw_profile else None
         ),
+        model_state=model_state,
     )
 
 

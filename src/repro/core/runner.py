@@ -44,6 +44,10 @@ class RunResult:
     log_lines: list[str] = field(default_factory=list)
     breakdown: TimingBreakdown | None = None
     telemetry: RunTelemetry | None = None
+    # Trained parameters exported by the session (name -> ndarray), so the
+    # artifact can rehydrate the model for serving; None when the session
+    # has nothing to export.
+    model_state: dict[str, Any] | None = None
 
     @property
     def epochs_to_target(self) -> int | None:
@@ -156,7 +160,7 @@ class BenchmarkRunner:
         series = RunSeries() if tele.enabled else None
         with tele.activate():
             try:
-                reached, quality, history, epochs_run = self._execute(
+                reached, quality, history, epochs_run, model_state = self._execute(
                     benchmark, spec, seed, hp, max_epochs, logger, timer, tele,
                     deadline, series,
                 )
@@ -189,6 +193,7 @@ class BenchmarkRunner:
             log_lines=logger.to_lines(),
             breakdown=timer.breakdown(),
             telemetry=self._snapshot(tele, series),
+            model_state=model_state,
         )
 
     def _execute(self, benchmark, spec, seed, hp, max_epochs, logger, timer, tele,
@@ -286,6 +291,9 @@ class BenchmarkRunner:
                         if quality >= spec.quality_threshold:
                             reached = True
                             break
+                # Export the trained parameters before the session releases
+                # its resources — failed runs skip this (nothing servable).
+                model_state = session.export_state()
             finally:
                 session.close()
 
@@ -295,7 +303,7 @@ class BenchmarkRunner:
             events.publish("run_stop", benchmark=spec.name, seed=seed,
                            status="success" if reached else "aborted",
                            epochs=epochs_run, quality=quality)
-        return reached, quality, history, epochs_run
+        return reached, quality, history, epochs_run, model_state
 
     @staticmethod
     def _sample_series(series, metrics, epoch: int, t_s: float,

@@ -6,7 +6,7 @@ the layer zoo the seven benchmarks need, optimizers (including both §2.2.4
 momentum formulations and LARS), LR schedules, and a seeded data pipeline.
 """
 
-from .tensor import Tensor, no_grad, is_grad_enabled
+from .tensor import Tensor, inference_mode, is_grad_enabled, is_inference_mode, no_grad
 from .module import Module, ModuleList, Parameter, Sequential
 from . import functional
 from . import init
@@ -54,7 +54,9 @@ from .accumulate import GradientAccumulator
 __all__ = [
     "Tensor",
     "no_grad",
+    "inference_mode",
     "is_grad_enabled",
+    "is_inference_mode",
     "Module",
     "ModuleList",
     "Parameter",

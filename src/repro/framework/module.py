@@ -13,7 +13,7 @@ from typing import Iterator
 
 import numpy as np
 
-from .tensor import Tensor
+from .tensor import Tensor, is_inference_mode
 
 __all__ = ["Parameter", "Module", "Sequential", "ModuleList"]
 
@@ -23,7 +23,10 @@ class Parameter(Tensor):
 
     def __init__(self, data, name: str | None = None):
         super().__init__(data, requires_grad=True, name=name)
-        self.requires_grad = True  # Parameters track grads even inside no_grad()
+        # Parameters track grads even inside no_grad(); only the explicit
+        # forward-only inference mode suppresses that, so a model built
+        # for serving carries no grad bookkeeping anywhere.
+        self.requires_grad = not is_inference_mode()
 
 
 class Module:

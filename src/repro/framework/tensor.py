@@ -20,9 +20,11 @@ import numpy as np
 
 from .prof import profiled_op, profiler
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "set_alloc_tracker"]
+__all__ = ["Tensor", "no_grad", "inference_mode", "is_grad_enabled",
+           "is_inference_mode", "set_alloc_tracker"]
 
 _GRAD_ENABLED = True
+_INFERENCE_MODE = False
 
 # Tensor-construction hook for per-phase memory accounting.  None (the
 # default) keeps ``Tensor.__init__`` at a single global check; the
@@ -56,9 +58,39 @@ class no_grad:
         _GRAD_ENABLED = self._prev
 
 
+class inference_mode:
+    """Context manager for forward-only serving; stronger than :class:`no_grad`.
+
+    Inside the extent there is *no* gradient bookkeeping at all: operations
+    record no tape nodes (as under ``no_grad``), but additionally
+    ``requires_grad`` never propagates — even :class:`~repro.framework.module.Parameter`
+    construction and explicit ``Tensor(x, requires_grad=True)`` yield
+    ``requires_grad=False`` tensors, and calling :meth:`Tensor.backward`
+    raises immediately instead of walking an empty graph.  Forward results
+    are bit-identical to a training-mode forward (asserted by test): the
+    mode changes what is *recorded*, never what is *computed*.
+    """
+
+    def __enter__(self) -> "inference_mode":
+        global _GRAD_ENABLED, _INFERENCE_MODE
+        self._prev = (_GRAD_ENABLED, _INFERENCE_MODE)
+        _GRAD_ENABLED = False
+        _INFERENCE_MODE = True
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _GRAD_ENABLED, _INFERENCE_MODE
+        _GRAD_ENABLED, _INFERENCE_MODE = self._prev
+
+
 def is_grad_enabled() -> bool:
     """Return whether operations currently record gradient information."""
     return _GRAD_ENABLED
+
+
+def is_inference_mode() -> bool:
+    """Return whether the forward-only inference mode is active."""
+    return _INFERENCE_MODE
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -224,6 +256,10 @@ class Tensor:
         ``grad`` defaults to ones (i.e. the tensor is treated as a sum of its
         elements); for scalar losses this is the conventional seed of 1.0.
         """
+        if _INFERENCE_MODE:
+            raise RuntimeError(
+                "backward() inside inference_mode: no tape was recorded"
+            )
         if not self.requires_grad:
             raise RuntimeError("backward() on a tensor that does not require grad")
         if grad is None:

@@ -1,0 +1,266 @@
+"""The issue/complete loop: latencies, verdicts, and the max-QPS search.
+
+One scenario run has three parts:
+
+1. **Serve.**  Every generated query's prediction is actually computed
+   (offline in one parallel batch through the SUT — the multi-worker
+   pool's path — serial scenarios per query), and the predictions are
+   checksummed so reruns can prove they served identical answers.
+2. **Service times.**  ``timing="wall"`` measures each query's forward
+   pass on the monotonic clock; ``timing="virtual"`` draws per-query
+   service times from the SUT's seeded service model instead
+   (:func:`~repro.loadgen.sut.virtual_service_times`), which makes every
+   derived statistic bit-identical across reruns and machines — the mode
+   CI's smoke gate and the determinism tests run in.
+3. **Replay.**  Latency is computed by a deterministic queueing replay
+   over (arrival, service) pairs: single_stream arrivals chain on the
+   previous completion, server arrivals follow the generated Poisson
+   schedule, offline arrivals are all zero.  Replay, not sleeping, is
+   what lets the Server constraint be probed at any target QPS without
+   real-time waiting — the binary search in :func:`find_max_qps` runs
+   hundreds of virtual seconds of traffic in microseconds.
+
+Warmup queries are served and timed but discarded from the measured
+window, mirroring the Inference rules' burn-in.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..telemetry import current_events
+from .scenarios import Query, ScenarioSpec, make_queries, percentile
+from .sut import SUT, virtual_service_times
+
+__all__ = ["QueryRecord", "ScenarioResult", "run_scenario", "find_max_qps",
+           "REPORTED_PERCENTILES"]
+
+REPORTED_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """One completed query, replayed: when it arrived, how long it took."""
+
+    index: int
+    arrival_s: float
+    latency_s: float
+    warmup: bool
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one scenario run measured, plus its verdict."""
+
+    scenario: str
+    benchmark: str
+    seed: int
+    timing: str
+    query_count: int
+    measured_count: int
+    percentiles: dict[str, float] = field(default_factory=dict)
+    achieved_qps: float = 0.0
+    valid: bool = False
+    violations: list[str] = field(default_factory=list)
+    prediction_checksum: int = 0
+    max_qps: float | None = None  # server only: binary-search result
+
+    def to_payload(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "benchmark": self.benchmark,
+            "seed": self.seed,
+            "timing": self.timing,
+            "query_count": self.query_count,
+            "measured_count": self.measured_count,
+            "percentiles": dict(self.percentiles),
+            "achieved_qps": self.achieved_qps,
+            "valid": self.valid,
+            "violations": list(self.violations),
+            "prediction_checksum": self.prediction_checksum,
+            "max_qps": self.max_qps,
+        }
+
+
+def _replay(queries: list[Query], service_s: np.ndarray, scenario: str,
+            servers: int = 1) -> list[QueryRecord]:
+    """Deterministic multi-server queueing replay over (arrival, service).
+
+    Each query runs on the earliest-free server, starting at
+    ``max(arrival, server_free)``; latency is completion minus arrival.
+    With one server and chained arrivals (single_stream) latency equals
+    service time exactly, which is what the scenario means.
+    """
+    free = np.zeros(max(int(servers), 1))
+    records = []
+    prev_done = 0.0
+    for q, s in zip(queries, service_s):
+        arrival = prev_done if scenario == "single_stream" else q.issue_s
+        w = int(np.argmin(free))
+        start = max(arrival, free[w])
+        done = start + float(s)
+        free[w] = done
+        prev_done = done
+        records.append(QueryRecord(index=q.index, arrival_s=arrival,
+                                   latency_s=done - arrival, warmup=False))
+    return records
+
+
+def _verdict(spec: ScenarioSpec, latencies: list[float],
+             achieved_qps: float) -> tuple[bool, list[str], dict[str, float]]:
+    """Apply the constraint to the measured window; boundary is inclusive."""
+    c = spec.constraint
+    violations: list[str] = []
+    pcts: dict[str, float] = {}
+    if not latencies:
+        return False, ["empty measurement window (no post-warmup queries)"], pcts
+    for p in REPORTED_PERCENTILES:
+        pcts[f"p{p:g}"] = percentile(latencies, p)
+    bound_pct = percentile(latencies, c.latency_percentile)
+    pcts[f"p{c.latency_percentile:g}"] = bound_pct
+    if c.latency_bound_s is not None and bound_pct > c.latency_bound_s:
+        violations.append(
+            f"p{c.latency_percentile:g} latency {bound_pct:.6f}s exceeds "
+            f"bound {c.latency_bound_s:.6f}s")
+    if achieved_qps < c.min_qps:
+        violations.append(
+            f"achieved {achieved_qps:.3f} QPS below minimum {c.min_qps:.3f}")
+    if len(latencies) < c.min_queries:
+        violations.append(
+            f"measured {len(latencies)} queries, constraint requires "
+            f">= {c.min_queries}")
+    return not violations, violations, pcts
+
+
+def _measure_service_times(sut: SUT, queries: list[Query], timing: str,
+                           seed: int, scenario: str) -> np.ndarray:
+    indices = np.array([q.index for q in queries], dtype=np.int64)
+    if timing == "virtual":
+        from .scenarios import SCENARIO_NAMES
+
+        return virtual_service_times(
+            len(queries), seed, stream=SCENARIO_NAMES.index(scenario),
+            salt=zlib.crc32(sut.info.benchmark.encode()))
+    if timing != "wall":
+        raise ValueError(f"unknown timing mode {timing!r}")
+    service = np.empty(len(queries))
+    for i, idx in enumerate(indices):
+        t0 = time.monotonic()
+        sut.predict(idx[None])
+        service[i] = time.monotonic() - t0
+    return service
+
+
+def run_scenario(sut: SUT, spec: ScenarioSpec, *, seed: int = 0,
+                 timing: str = "virtual") -> ScenarioResult:
+    """Run one scenario against a SUT and return its measured result.
+
+    Publishes ``scenario_start`` / per-query ``query`` / ``scenario_stop``
+    on the ambient telemetry event bus, so a serving run saved with
+    ``--save`` renders in ``repro analyze`` exactly like a training run.
+    """
+    events = current_events()
+    queries = make_queries(spec, sut.pool_size, seed)
+    events.publish("scenario_start", scenario=spec.scenario,
+                   benchmark=sut.info.benchmark, queries=len(queries),
+                   timing=timing, target_qps=spec.target_qps)
+
+    # Serve every query for real: offline goes through the SUT in one
+    # parallel batch (the multi-worker path); the checksum proves reruns
+    # answer identically.
+    indices = np.array([q.index for q in queries], dtype=np.int64)
+    predictions = sut.predict(indices)
+    checksum = zlib.crc32(np.ascontiguousarray(predictions).tobytes())
+
+    service_s = _measure_service_times(sut, queries, timing, seed,
+                                       spec.scenario)
+    records = _replay(queries, service_s, spec.scenario,
+                      servers=max(sut.workers, 1))
+    warm = spec.warmup_queries
+    measured = records[warm:]
+    for rec in measured:
+        events.publish("query", scenario=spec.scenario, index=rec.index,
+                       latency_s=rec.latency_s, arrival_s=rec.arrival_s)
+
+    latencies = [r.latency_s for r in measured]
+    if measured:
+        span = (max(r.arrival_s + r.latency_s for r in measured)
+                - min(r.arrival_s for r in measured))
+        achieved_qps = len(measured) / span if span > 0 else float(len(measured))
+    else:
+        achieved_qps = 0.0
+    valid, violations, pcts = _verdict(spec, latencies, achieved_qps)
+
+    result = ScenarioResult(
+        scenario=spec.scenario, benchmark=sut.info.benchmark, seed=seed,
+        timing=timing, query_count=len(queries), measured_count=len(measured),
+        percentiles=pcts, achieved_qps=achieved_qps, valid=valid,
+        violations=violations, prediction_checksum=checksum,
+    )
+    events.publish("scenario_stop", scenario=spec.scenario,
+                   benchmark=sut.info.benchmark, valid=valid,
+                   achieved_qps=achieved_qps,
+                   p99=pcts.get("p99"), measured=len(measured))
+    return result
+
+
+def find_max_qps(sut: SUT, server_spec: ScenarioSpec, *, seed: int = 0,
+                 timing: str = "virtual", iterations: int = 12,
+                 hi_qps: float = 1e4) -> float:
+    """Max sustainable QPS under the Server constraint, by binary search.
+
+    Service times are obtained once (measured or virtual); each probe
+    regenerates the Poisson arrival schedule at the probe rate with the
+    same seed and replays the queue — validity is monotone in the arrival
+    rate for a fixed service-time sequence, so bisection converges.  The
+    bracket grows geometrically from the spec's target until a probe
+    fails (capped at ``hi_qps``); a fixed iteration count keeps the
+    result deterministic to a resolution of ``bracket / 2**iterations``.
+    """
+    service_s = _measure_service_times(
+        sut, make_queries(server_spec, sut.pool_size, seed), timing, seed,
+        "server")
+
+    def probe(qps: float) -> bool:
+        spec = server_spec.at_qps(qps)
+        queries = make_queries(spec, sut.pool_size, seed)
+        records = _replay(queries, service_s, "server",
+                          servers=max(sut.workers, 1))
+        measured = records[spec.warmup_queries:]
+        latencies = [r.latency_s for r in measured]
+        if measured:
+            span = (max(r.arrival_s + r.latency_s for r in measured)
+                    - min(r.arrival_s for r in measured))
+            qps_achieved = (len(measured) / span if span > 0
+                            else float(len(measured)))
+        else:
+            qps_achieved = 0.0
+        valid, _, _ = _verdict(spec, latencies, qps_achieved)
+        return valid
+
+    lo = 0.0
+    hi = float(server_spec.target_qps or 1.0)
+    if probe(hi):
+        # Nominal target holds; grow the bracket until a rate fails.
+        lo = hi
+        while hi < hi_qps:
+            hi = min(hi * 2.0, hi_qps)
+            if probe(hi):
+                lo = hi
+            else:
+                break
+        if lo >= hi_qps:
+            return hi_qps  # valid all the way to the cap
+    for _ in range(int(iterations)):
+        mid = (lo + hi) / 2.0
+        if probe(mid):
+            lo = mid
+        else:
+            hi = mid
+    current_events().publish("max_qps", benchmark=sut.info.benchmark,
+                             scenario="server", max_qps=lo, timing=timing)
+    return lo

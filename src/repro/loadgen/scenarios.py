@@ -1,0 +1,178 @@
+"""Query scenarios: seeded deterministic streams + declarative constraints.
+
+MLPerf Inference §4 defines how queries reach the system under test; the
+three scenarios this suite serves map directly onto it:
+
+- **single_stream** — one outstanding query: each query is issued the
+  moment the previous one completes, so latency *is* service time and the
+  constraint bounds a high percentile of it.
+- **server** — queries arrive by a Poisson process at a target QPS
+  (exponential inter-arrival times from a fixed RNG stream), queueing when
+  the system is busy; the constraint bounds a latency percentile *under
+  load*, which is what the max-sustainable-QPS search probes.
+- **offline** — every query is available at t=0; the metric is
+  throughput, with latency percentiles reported for completeness.
+
+Every stream is a pure function of ``(spec, pool_size, seed)`` via
+``numpy``'s Philox-seeded generator, so two runs with the same seed issue
+bit-identical query sequences — the property the determinism gate and the
+same-seed rerun tests rely on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+__all__ = ["SCENARIO_NAMES", "ConstraintSpec", "Query", "ScenarioSpec",
+           "default_scenarios", "make_queries", "percentile"]
+
+SCENARIO_NAMES = ("single_stream", "server", "offline")
+
+
+@dataclass(frozen=True)
+class ConstraintSpec:
+    """Declarative validity conditions for one scenario run.
+
+    A run is *valid* when every bound holds over the measured (post-warmup)
+    window: the chosen latency percentile is at or below the bound
+    (boundary inclusive — exactly-at-bound passes), achieved throughput is
+    at or above ``min_qps``, and at least ``min_queries`` latencies were
+    measured.  An empty measurement window is always invalid: a run that
+    measured nothing demonstrated nothing.
+    """
+
+    latency_percentile: float = 99.0
+    latency_bound_s: float | None = None  # None = latency unbounded
+    min_qps: float = 0.0
+    min_queries: int = 1
+
+    def __post_init__(self):
+        if not 0.0 < self.latency_percentile <= 100.0:
+            raise ValueError(
+                f"latency_percentile must be in (0, 100], got {self.latency_percentile}")
+        if self.latency_bound_s is not None and self.latency_bound_s <= 0:
+            raise ValueError("latency_bound_s must be positive (or None)")
+        if self.min_qps < 0 or self.min_queries < 0:
+            raise ValueError("min_qps and min_queries must be non-negative")
+
+
+@dataclass(frozen=True)
+class Query:
+    """One generated query: which sample to serve and when it arrives.
+
+    ``issue_s`` is the scheduled arrival relative to stream start: 0.0 for
+    offline (everything available up front) and for single_stream (where
+    the *actual* issue instant is the previous completion, decided by the
+    harness, not the schedule).
+    """
+
+    index: int
+    issue_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One scenario's traffic shape + constraint."""
+
+    scenario: str
+    query_count: int
+    warmup_queries: int = 0
+    target_qps: float | None = None  # server only: Poisson arrival rate
+    constraint: ConstraintSpec = field(default_factory=ConstraintSpec)
+
+    def __post_init__(self):
+        if self.scenario not in SCENARIO_NAMES:
+            raise ValueError(
+                f"unknown scenario {self.scenario!r}; one of {SCENARIO_NAMES}")
+        if self.query_count < 1:
+            raise ValueError("query_count must be >= 1")
+        if not 0 <= self.warmup_queries < self.query_count:
+            raise ValueError("warmup_queries must be in [0, query_count)")
+        if self.scenario == "server":
+            if self.target_qps is None or self.target_qps <= 0:
+                raise ValueError("server scenario needs a positive target_qps")
+
+    def at_qps(self, qps: float) -> "ScenarioSpec":
+        """This spec re-targeted to another arrival rate (QPS search probes)."""
+        return replace(self, target_qps=float(qps))
+
+
+def default_scenarios(*, query_count: int = 128, warmup_queries: int = 8,
+                      target_qps: float = 100.0,
+                      latency_bound_s: float = 0.1) -> dict[str, ScenarioSpec]:
+    """The standard three-scenario set for one serving run.
+
+    Bounds follow the Inference benchmark's shape — p90 for single_stream
+    (tail of a serial stream), p99 under server load, and no latency bound
+    offline (throughput is the offline metric).
+    """
+    return {
+        "single_stream": ScenarioSpec(
+            scenario="single_stream", query_count=query_count,
+            warmup_queries=warmup_queries,
+            constraint=ConstraintSpec(latency_percentile=90.0,
+                                      latency_bound_s=latency_bound_s,
+                                      min_queries=max(query_count // 2, 1)),
+        ),
+        "server": ScenarioSpec(
+            scenario="server", query_count=query_count,
+            warmup_queries=warmup_queries, target_qps=target_qps,
+            constraint=ConstraintSpec(latency_percentile=99.0,
+                                      latency_bound_s=latency_bound_s,
+                                      min_queries=max(query_count // 2, 1)),
+        ),
+        "offline": ScenarioSpec(
+            scenario="offline", query_count=query_count,
+            warmup_queries=warmup_queries,
+            constraint=ConstraintSpec(latency_percentile=99.0,
+                                      latency_bound_s=None,
+                                      min_queries=max(query_count // 2, 1)),
+        ),
+    }
+
+
+def make_queries(spec: ScenarioSpec, pool_size: int, seed: int) -> list[Query]:
+    """Generate the deterministic query stream for one scenario run.
+
+    Sample indices are drawn uniformly from the SUT's query pool and, for
+    the server scenario, arrival times are the cumulative sum of
+    exponential inter-arrival draws at ``target_qps`` — both from one
+    generator seeded by ``(seed, scenario)``, so the stream is a pure
+    function of its inputs and reruns are bit-identical.
+    """
+    if pool_size < 1:
+        raise ValueError("pool_size must be >= 1")
+    rng = np.random.default_rng([int(seed), _scenario_stream_id(spec.scenario)])
+    indices = rng.integers(0, pool_size, size=spec.query_count)
+    if spec.scenario == "server":
+        gaps = rng.exponential(1.0 / spec.target_qps, size=spec.query_count)
+        arrivals = np.cumsum(gaps)
+    else:
+        arrivals = np.zeros(spec.query_count)
+    return [Query(index=int(i), issue_s=float(t))
+            for i, t in zip(indices, arrivals)]
+
+
+def _scenario_stream_id(scenario: str) -> int:
+    """Stable per-scenario RNG sub-stream (order in SCENARIO_NAMES)."""
+    return SCENARIO_NAMES.index(scenario)
+
+
+def percentile(values, p: float) -> float:
+    """Nearest-rank percentile (inclusive), the Inference rules' estimator.
+
+    ``percentile(v, p)`` is the smallest element of ``v`` such that at
+    least ``p``% of the data is <= it: ``sorted(v)[ceil(p/100 * n) - 1]``.
+    No interpolation — the result is always an observed latency, and the
+    closed-form checks in the tests hold exactly.
+    """
+    vals = sorted(float(v) for v in values)
+    if not vals:
+        raise ValueError("percentile of an empty window")
+    if not 0.0 < p <= 100.0:
+        raise ValueError(f"percentile must be in (0, 100], got {p}")
+    rank = max(math.ceil(p / 100.0 * len(vals)), 1)
+    return vals[rank - 1]

@@ -1,0 +1,400 @@
+"""System Under Test: a trained model rehydrated from a run artifact.
+
+A :class:`SUT` is the serving side of one completed training run.  It is
+built from a ``result_*.txt`` artifact (whose header names the benchmark
+and whose ``.params.npz`` sidecar carries the trained weights), rebuilds
+the benchmark's session under :func:`~repro.framework.inference_mode` —
+so the serving model carries no tape nodes and no ``requires_grad``
+anywhere — loads the weights, and exposes a single
+``predict(indices) -> float64[n]`` surface over a benchmark-specific
+query pool (validation images for image classification, (user, held-out
+item) pairs for recommendation, ...).
+
+Multi-process serving reuses the comms engine's pattern: a persistent
+pool of forked workers (:class:`ServingPool`), each holding a replica
+inherited copy-on-write, with per-worker request/response slots in
+shared memory — per-query IPC is one ``("predict", count)`` command and
+one ack; indices and predictions never travel through pickle.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import time
+import traceback
+import weakref
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from ..comms.shm import Segment, aligned_offsets
+from ..framework import Tensor, inference_mode
+from ..telemetry import current_events
+
+__all__ = ["SUT", "SUTInfo", "ServingPool", "InferenceAdapter", "ADAPTERS",
+           "register_adapter", "load_sut", "train_and_save",
+           "virtual_service_times", "serving_pool_available"]
+
+
+def serving_pool_available() -> bool:
+    """True when fork-based serving pools can run on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def virtual_service_times(n: int, seed: int, *, base_s: float = 2e-3,
+                          sigma: float = 0.25, stream: int = 0,
+                          salt: int = 0) -> np.ndarray:
+    """Deterministic synthetic per-query service times (lognormal).
+
+    The harness's *virtual* timing mode: instead of measuring the host's
+    wall clock (noisy, machine-dependent), per-query service times come
+    from this seeded model, making every derived latency statistic —
+    percentiles, achieved QPS, the max-QPS search — bit-identical across
+    reruns and across machines.  That is what lets CI gate the loadgen
+    smoke payload with ``exact`` comparisons.  ``stream`` and ``salt``
+    decorrelate scenarios and benchmarks that share a seed.
+    """
+    rng = np.random.default_rng([int(seed), 7919, int(stream), int(salt)])
+    return base_s * np.exp(rng.normal(0.0, sigma, size=int(n)))
+
+
+# ---------------------------------------------------------------------------
+# Benchmark adapters: name -> (session, benchmark) -> query pool + predict
+# ---------------------------------------------------------------------------
+
+class InferenceAdapter:
+    """Maps query indices onto one benchmark's inference inputs.
+
+    ``pool_size`` is the number of distinct queries the benchmark offers
+    (scenarios draw indices uniformly from it); ``predict`` answers a
+    batch of indices with one float64 per query — a class id, a ranking
+    score, whatever the benchmark's serving output is.  Predictions must
+    be a deterministic function of (weights, indices): the harness
+    checksums them to prove reruns serve identical answers.
+    """
+
+    pool_size: int = 0
+
+    def predict(self, indices: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+ADAPTERS: dict[str, Callable[[Any, Any], InferenceAdapter]] = {}
+
+
+def register_adapter(name: str):
+    def deco(factory):
+        ADAPTERS[name] = factory
+        return factory
+    return deco
+
+
+@register_adapter("image_classification")
+class _ImageClassificationAdapter(InferenceAdapter):
+    """Serve top-1 class ids over the validation images."""
+
+    def __init__(self, session, benchmark):
+        self.images, _ = benchmark.data.val.arrays
+        self.model = session.model
+        self.pool_size = len(self.images)
+
+    def predict(self, indices: np.ndarray) -> np.ndarray:
+        idx = np.asarray(indices, dtype=np.int64)
+        out = []
+        for start in range(0, len(idx), 256):
+            batch = self.images[idx[start:start + 256]]
+            logits = self.model(Tensor(batch)).data
+            out.append(np.argmax(logits, axis=1))
+        return (np.concatenate(out).astype(np.float64) if out
+                else np.zeros(0, dtype=np.float64))
+
+
+@register_adapter("recommendation")
+class _RecommendationAdapter(InferenceAdapter):
+    """Serve NCF scores for each user's held-out (leave-one-out) item."""
+
+    def __init__(self, session, benchmark):
+        data = benchmark.data
+        self.users = data.all_users
+        self.positives = data.eval_positives
+        self.model = session.model
+        self.pool_size = len(self.users)
+
+    def predict(self, indices: np.ndarray) -> np.ndarray:
+        users = self.users[np.asarray(indices, dtype=np.int64)]
+        return np.asarray(self.model.score(users, self.positives[users]),
+                          dtype=np.float64)
+
+
+# ---------------------------------------------------------------------------
+# Multi-process serving pool (comms-engine fork/shm pattern)
+# ---------------------------------------------------------------------------
+
+def _release_pool(segments, processes, cmd_queues, timeout: float = 5.0) -> None:
+    """Tear down pool resources (also runs via weakref.finalize on GC)."""
+    for q in cmd_queues:
+        try:
+            q.put(("stop",))
+        except Exception:
+            pass
+    deadline = time.monotonic() + timeout
+    for proc in processes:
+        proc.join(max(0.0, deadline - time.monotonic()))
+    for proc in processes:
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(1.0)
+    for seg in segments:
+        seg.destroy()
+
+
+class ServingPool:
+    """Persistent forked replicas with shared-memory request/response slots.
+
+    Each worker owns one request slot (int64 query indices) and one
+    response slot (float64 predictions) in shared memory, sized to
+    ``capacity`` queries.  ``predict`` partitions a batch of indices
+    across workers, writes each worker's slice into its slot, wakes it
+    with a tiny command, and reassembles the responses in rank order —
+    deterministic output, zero per-query pickling.
+    """
+
+    def __init__(self, adapter: InferenceAdapter, num_workers: int,
+                 capacity: int = 4096, timeout: float = 60.0):
+        if num_workers < 1:
+            raise ValueError("need at least one worker")
+        if not serving_pool_available():
+            raise RuntimeError("serving pool requires the fork start method")
+        self.adapter = adapter
+        self.num_workers = num_workers
+        self.capacity = int(capacity)
+        self.timeout = float(timeout)
+        self._closed = False
+
+        ctx = multiprocessing.get_context("fork")
+        specs = [((self.capacity,), np.dtype(np.int64)),
+                 ((self.capacity,), np.dtype(np.float64))]
+        offsets, total = aligned_offsets(specs)
+        self._segments = [Segment(total) for _ in range(num_workers)]
+        self._req_views = [seg.view((self.capacity,), np.int64, offsets[0])
+                           for seg in self._segments]
+        self._resp_views = [seg.view((self.capacity,), np.float64, offsets[1])
+                            for seg in self._segments]
+        self._cmd_queues = [ctx.SimpleQueue() for _ in range(num_workers)]
+        self._result_q = ctx.Queue()
+        self._processes = [
+            ctx.Process(target=self._worker_main, args=(rank,), daemon=True,
+                        name=f"repro-serve-{rank}")
+            for rank in range(num_workers)
+        ]
+        for proc in self._processes:
+            proc.start()
+        self._finalizer = weakref.finalize(
+            self, _release_pool, self._segments, self._processes,
+            self._cmd_queues)
+
+    # -- worker side (runs in forked children only) -------------------------
+
+    def _worker_main(self, rank: int) -> None:
+        status = 0
+        try:
+            self._worker_loop(rank)
+        except BaseException:
+            try:
+                self._result_q.put(("error", rank, traceback.format_exc()))
+            except Exception:
+                pass
+            status = 1
+        finally:
+            try:
+                sys.stdout.flush()
+                sys.stderr.flush()
+            except Exception:
+                pass
+            # Skip atexit/interpreter teardown: the child inherited the
+            # parent's runtime state and must not flush or finalize it.
+            os._exit(status)
+
+    def _worker_loop(self, rank: int) -> None:
+        req, resp = self._req_views[rank], self._resp_views[rank]
+        while True:
+            msg = self._cmd_queues[rank].get()
+            if msg[0] == "stop":
+                return
+            n = int(msg[1])
+            try:
+                with inference_mode():
+                    resp[:n] = self.adapter.predict(req[:n])
+            except Exception:
+                self._result_q.put(("error", rank, traceback.format_exc()))
+                continue
+            self._result_q.put(("ok", rank, n))
+
+    # -- parent side --------------------------------------------------------
+
+    def predict(self, indices: np.ndarray) -> np.ndarray:
+        if self._closed:
+            raise RuntimeError("predict() on a closed ServingPool")
+        idx = np.asarray(indices, dtype=np.int64)
+        if len(idx) > self.capacity * self.num_workers:
+            raise ValueError(
+                f"batch of {len(idx)} exceeds pool capacity "
+                f"{self.capacity} x {self.num_workers} workers")
+        # Contiguous per-rank slices keep reassembly a simple concatenation.
+        splits = np.array_split(idx, self.num_workers)
+        active = []
+        for rank, part in enumerate(splits):
+            if len(part) == 0:
+                continue
+            self._req_views[rank][:len(part)] = part
+            self._cmd_queues[rank].put(("predict", len(part)))
+            active.append(rank)
+        counts: dict[int, int] = {}
+        for _ in active:
+            kind, rank, payload = self._result_q.get(timeout=self.timeout)
+            if kind == "error":
+                self.close()
+                raise RuntimeError(f"serving worker {rank} failed:\n{payload}")
+            counts[rank] = payload
+        return np.concatenate([
+            self._resp_views[rank][:counts[rank]].copy() for rank in active
+        ]) if active else np.zeros(0, dtype=np.float64)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._finalizer()
+
+
+# ---------------------------------------------------------------------------
+# The SUT itself
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SUTInfo:
+    """Provenance of a serving model: which training run produced it."""
+
+    benchmark: str
+    seed: int
+    quality: float
+    epochs: int
+    source: str  # artifact path the weights were loaded from
+
+
+class SUT:
+    """Forward-only serving over one rehydrated trained model."""
+
+    def __init__(self, info: SUTInfo, session, adapter: InferenceAdapter,
+                 workers: int = 1):
+        self.info = info
+        self._session = session
+        self.adapter = adapter
+        self._pool = (ServingPool(adapter, workers) if workers > 1 else None)
+        self.workers = workers
+
+    @property
+    def pool_size(self) -> int:
+        return self.adapter.pool_size
+
+    def predict(self, indices: np.ndarray) -> np.ndarray:
+        """Serve one batch of query indices (forward-only, no tape)."""
+        with inference_mode():
+            if self._pool is not None:
+                return self._pool.predict(indices)
+            return self.adapter.predict(indices)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        self._session.close()
+
+    def __enter__(self) -> "SUT":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _sanitize_hyperparameters(hp: Mapping[str, Any]) -> dict[str, Any]:
+    """Serving-safe copy of a run's resolved hyperparameters.
+
+    Training-only scale-out knobs are neutralized: a serving session must
+    not fork a data-parallel gradient pool just because the training run
+    used one.
+    """
+    clean = dict(hp)
+    if "dp_workers" in clean:
+        clean["dp_workers"] = 1
+    return clean
+
+
+def load_sut(artifact: str | Path, benchmark: str | None = None,
+             workers: int = 1) -> SUT:
+    """Build a SUT from a saved ``result_*.txt`` training artifact.
+
+    The artifact header names the benchmark (older files need it passed
+    explicitly) and the ``.params.npz`` sidecar carries the weights.  The
+    session is rebuilt under :func:`~repro.framework.inference_mode`, so
+    every parameter comes up with ``requires_grad=False`` and the serving
+    forward path records nothing.
+    """
+    from ..core.artifacts import load_run_result
+    from ..suite import create_benchmark
+
+    artifact = Path(artifact)
+    result = load_run_result(benchmark, artifact)
+    if result.model_state is None:
+        raise ValueError(
+            f"{artifact}: no trained parameters (.params.npz sidecar "
+            "missing) — re-run training with this version to get a "
+            "servable artifact")
+    if result.benchmark not in ADAPTERS:
+        raise ValueError(
+            f"no serving adapter for benchmark {result.benchmark!r}; "
+            f"available: {sorted(ADAPTERS)}")
+    bench = create_benchmark(result.benchmark)
+    bench.prepare_data()
+    hp = _sanitize_hyperparameters(result.hyperparameters)
+    with inference_mode():
+        session = bench.create_session(result.seed, hp)
+    model = session.model
+    model.load_state_dict(result.model_state)
+    model.eval()
+    adapter = ADAPTERS[result.benchmark](session, bench)
+    info = SUTInfo(benchmark=result.benchmark, seed=result.seed,
+                   quality=result.quality, epochs=result.epochs,
+                   source=str(artifact))
+    current_events().publish("sut_load", benchmark=result.benchmark,
+                             seed=result.seed, source=str(artifact),
+                             pool_size=adapter.pool_size, workers=workers)
+    return SUT(info, session, adapter, workers=workers)
+
+
+def train_and_save(benchmark_name: str, artifact: str | Path, *, seed: int = 0,
+                   max_epochs: int = 1,
+                   overrides: Mapping[str, Any] | None = None) -> Path:
+    """Train one short run and save a servable artifact at ``artifact``.
+
+    The convenience path behind ``repro loadgen`` when no ``--artifact``
+    is given (and the smoke gate's fixture): quality does not need to
+    reach the training target for the model to be servable, so
+    ``max_epochs`` defaults to one epoch.
+    """
+    from ..core.artifacts import save_run_result
+    from ..core.runner import BenchmarkRunner
+    from ..suite import create_benchmark
+
+    bench = create_benchmark(benchmark_name)
+    runner = BenchmarkRunner()
+    result = runner.run(bench, seed=seed, hyperparameter_overrides=overrides,
+                        max_epochs=max_epochs)
+    if result.model_state is None:
+        raise RuntimeError(
+            f"{benchmark_name}: training session exports no model state; "
+            "cannot build a servable artifact")
+    return save_run_result(Path(artifact), result)

@@ -7,7 +7,7 @@ from .instance_segmentation import InstanceSegmentationBenchmark
 from .translation import TranslationRecurrentBenchmark, TranslationTransformerBenchmark
 from .recommendation import RecommendationBenchmark
 from .reinforcement import ReinforcementBenchmark
-from .registry import REGISTRY, all_specs, create_benchmark, table1
+from .registry import REGISTRY, all_specs, create_benchmark, table1, table1_payload
 
 __all__ = [
     "Benchmark",
@@ -24,4 +24,5 @@ __all__ = [
     "all_specs",
     "create_benchmark",
     "table1",
+    "table1_payload",
 ]

@@ -78,6 +78,25 @@ class TrainingSession(ABC):
         default is a no-op for sessions with no external resources.
         """
 
+    def export_state(self) -> "dict | None":
+        """The trained model's parameters, keyed by name (or ``None``).
+
+        The runner captures this right after the training loop (before
+        :meth:`close`) and persists it in the run artifact, so a serving
+        run (``repro loadgen``) can rehydrate any completed training run
+        from its ``result_*.txt`` alone.  The default handles the common
+        session layout — a ``model`` attribute that is a framework
+        :class:`~repro.framework.module.Module`; sessions with a different
+        layout override this, and returning ``None`` means the run is not
+        servable (nothing is persisted).
+        """
+        from ..framework.module import Module
+
+        model = getattr(self, "model", None)
+        if isinstance(model, Module):
+            return model.state_dict()
+        return None
+
 
 class Benchmark(ABC):
     """A benchmark definition: spec + data + session factory."""

@@ -17,7 +17,8 @@ from .recommendation import RecommendationBenchmark
 from .reinforcement import ReinforcementBenchmark
 from .translation import TranslationRecurrentBenchmark, TranslationTransformerBenchmark
 
-__all__ = ["REGISTRY", "create_benchmark", "all_specs", "table1"]
+__all__ = ["REGISTRY", "create_benchmark", "all_specs", "table1",
+           "table1_payload"]
 
 REGISTRY: dict[str, Callable[[], Benchmark]] = {
     "image_classification": ImageClassificationBenchmark,
@@ -43,6 +44,34 @@ def all_specs():
     """Specs of every benchmark in suite order."""
     return [factory().spec if not hasattr(factory, "spec") else factory.spec
             for factory in REGISTRY.values()]
+
+
+def table1_payload() -> dict:
+    """Machine-readable Table 1 (``repro table1 --json``).
+
+    External drivers (and the loadgen smoke job) enumerate the suite from
+    this instead of screen-scraping the fixed-width table.  Sets become
+    sorted lists and tuples become lists so the payload is plain JSON.
+    """
+    rows = []
+    for spec in all_specs():
+        rows.append({
+            "name": spec.name,
+            "area": spec.area,
+            "dataset": spec.dataset,
+            "model": spec.model,
+            "quality_metric": spec.quality_metric,
+            "quality_threshold": spec.quality_threshold,
+            "required_runs": spec.required_runs,
+            "max_epochs": spec.max_epochs,
+            "default_hyperparameters": {
+                k: (list(v) if isinstance(v, tuple) else v)
+                for k, v in spec.default_hyperparameters.items()
+            },
+            "modifiable_hyperparameters": sorted(spec.modifiable_hyperparameters),
+            "quality_details": dict(spec.quality_details),
+        })
+    return {"schema": "repro.table1.v1", "benchmarks": rows}
 
 
 def table1() -> str:

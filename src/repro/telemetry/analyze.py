@@ -468,12 +468,16 @@ def spans_from_campaign_events(events: Iterable[Any]) -> list[TraceSpan]:
     ``run_start``/``run_stop`` pairs become per-worker ``run`` spans and
     ``epoch`` events (which carry their duration) become nested ``epoch``
     spans — enough structure for critical-path and straggler analysis of
-    a campaign without any worker having written a full trace.  Event
-    ``time_s`` values are epoch seconds (one shared clock), so no origin
-    alignment is needed.
+    a campaign without any worker having written a full trace.  Serving
+    runs reconstruct the same way: ``scenario_start``/``scenario_stop``
+    pairs become ``serve:<scenario>`` spans and per-query ``query``
+    events (which carry their latency) become nested ``query`` spans.
+    Event ``time_s`` values are epoch seconds (one shared clock), so no
+    origin alignment is needed.
     """
     spans: list[TraceSpan] = []
     open_runs: dict[int, tuple[float, dict[str, Any]]] = {}
+    open_scenarios: dict[int, tuple[float, dict[str, Any]]] = {}
     last_seen: dict[int, float] = {}
     for event in events:
         pid = int(getattr(event, "pid", 0))
@@ -497,12 +501,34 @@ def spans_from_campaign_events(events: Iterable[Any]) -> list[TraceSpan]:
             spans.append(TraceSpan(
                 name="epoch", pid=pid, tid=0,
                 start_us=t_us - max(dur_us, 0.0), end_us=t_us, args=args))
+        elif name == "scenario_start":
+            open_scenarios[pid] = (t_us, args)
+        elif name == "scenario_stop":
+            start = open_scenarios.pop(pid, None)
+            if start is not None:
+                start_us, start_args = start
+                label = start_args.get("scenario", "scenario")
+                spans.append(TraceSpan(
+                    name=f"serve:{label}", pid=pid, tid=0,
+                    start_us=start_us, end_us=max(t_us, start_us),
+                    args={**start_args, **args}))
+        elif name == "query":
+            dur_us = float(args.get("latency_s", 0.0)) * 1e6
+            spans.append(TraceSpan(
+                name="query", pid=pid, tid=0,
+                start_us=t_us - max(dur_us, 0.0), end_us=t_us, args=args))
     # Unbalanced run_start (worker died mid-run): close at its last event
     # so failed cells still contribute a span instead of vanishing.
     for pid, (start_us, start_args) in sorted(open_runs.items()):
         label = start_args.get("benchmark", "run")
         spans.append(TraceSpan(
             name=f"run:{label}", pid=pid, tid=0, start_us=start_us,
+            end_us=max(last_seen.get(pid, start_us), start_us),
+            args={**start_args, "truncated": True}))
+    for pid, (start_us, start_args) in sorted(open_scenarios.items()):
+        label = start_args.get("scenario", "scenario")
+        spans.append(TraceSpan(
+            name=f"serve:{label}", pid=pid, tid=0, start_us=start_us,
             end_us=max(last_seen.get(pid, start_us), start_us),
             args={**start_args, "truncated": True}))
     return spans

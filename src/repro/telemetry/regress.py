@@ -88,6 +88,15 @@ SCHEMA_METRICS: dict[str, tuple[MetricSpec, ...]] = {
         MetricSpec("checks.off_overhead", "lower", rel_tol=0.10,
                    abs_tol=0.05),
     ),
+    # Serving harness: verdicts and same-seed determinism are exact (the
+    # smoke runs in virtual timing, so they are machine-independent); the
+    # searched max-QPS floor gets the standard wide timing band.
+    "repro.bench_loadgen.v1": (
+        MetricSpec("checks.all_valid", "exact"),
+        MetricSpec("checks.deterministic", "exact"),
+        MetricSpec("checks.scenario_count", "exact"),
+        MetricSpec("checks.min_server_max_qps", "higher", rel_tol=0.5),
+    ),
 }
 
 

@@ -49,6 +49,61 @@ def submission():
     return sub
 
 
+class TestModelStateSidecar:
+    """Trained parameters round-trip through the .params.npz sidecar."""
+
+    def _run_with_state(self):
+        clock = FakeClock()
+        run = BenchmarkRunner(clock=clock).run(FakeBenchmark(clock=clock), seed=3)
+        run.model_state = {
+            "fc.weight": np.arange(6, dtype=np.float64).reshape(2, 3),
+            "fc.bias": np.array([0.5, -0.5]),
+        }
+        return run
+
+    def test_roundtrip_restores_parameters(self, tmp_path):
+        from repro.core.artifacts import load_run_result, save_run_result
+
+        run = self._run_with_state()
+        path = save_run_result(tmp_path / "result_0.txt", run)
+        assert (tmp_path / "result_0.params.npz").exists()
+        back = load_run_result(path)  # benchmark name comes from the header
+        assert back.benchmark == FAKE_SPEC.name
+        assert set(back.model_state) == set(run.model_state)
+        for name, arr in run.model_state.items():
+            np.testing.assert_array_equal(back.model_state[name], arr)
+
+    def test_no_state_writes_no_sidecar(self, tmp_path):
+        from repro.core.artifacts import load_run_result, save_run_result
+
+        run = self._run_with_state()
+        run.model_state = None
+        path = save_run_result(tmp_path / "result_0.txt", run)
+        assert not (tmp_path / "result_0.params.npz").exists()
+        assert load_run_result(FAKE_SPEC.name, path).model_state is None
+
+    def test_missing_sidecar_still_loads(self, tmp_path):
+        from repro.core.artifacts import load_run_result, save_run_result
+
+        run = self._run_with_state()
+        path = save_run_result(tmp_path / "result_0.txt", run)
+        (tmp_path / "result_0.params.npz").unlink()
+        assert load_run_result(path).model_state is None
+
+    def test_headerless_benchmark_requires_explicit_name(self, tmp_path):
+        from repro.core.artifacts import load_run_result, save_run_result
+
+        run = self._run_with_state()
+        path = save_run_result(tmp_path / "result_0.txt", run)
+        first, _, rest = path.read_text().partition("\n")
+        header = json.loads(first[len("# repro-run "):])
+        del header["benchmark"]
+        path.write_text(f"# repro-run {json.dumps(header, sort_keys=True)}\n" + rest)
+        with pytest.raises(ValueError, match="no benchmark name"):
+            load_run_result(path)
+        assert load_run_result(FAKE_SPEC.name, path).benchmark == FAKE_SPEC.name
+
+
 class TestSaveLoad:
     def test_directory_layout(self, submission, tmp_path):
         base = save_submission(submission, tmp_path)

@@ -1,0 +1,87 @@
+"""inference_mode: forward-only serving semantics (no tape, bit-identical)."""
+
+import numpy as np
+import pytest
+
+from repro.framework import (
+    Linear,
+    Module,
+    Parameter,
+    Sequential,
+    Tensor,
+    ReLU,
+    inference_mode,
+    is_grad_enabled,
+    is_inference_mode,
+    no_grad,
+)
+
+
+def _tiny_net(seed: int = 0) -> Module:
+    rng = np.random.default_rng(seed)
+    return Sequential(Linear(4, 8, rng), ReLU(), Linear(8, 3, rng))
+
+
+class TestInferenceMode:
+    def test_flags_and_nesting(self):
+        assert not is_inference_mode()
+        with inference_mode():
+            assert is_inference_mode()
+            assert not is_grad_enabled()
+        assert not is_inference_mode()
+        assert is_grad_enabled()
+
+    def test_restores_no_grad_state(self):
+        # Entering inference_mode inside no_grad must restore no_grad's
+        # state on exit, not blindly re-enable grads.
+        with no_grad():
+            with inference_mode():
+                pass
+            assert not is_grad_enabled()
+            assert not is_inference_mode()
+
+    def test_forward_bit_identical_to_training_mode(self):
+        net = _tiny_net()
+        x = np.random.default_rng(1).normal(size=(5, 4))
+        train_out = net(Tensor(x)).data.copy()
+        with inference_mode():
+            serve_out = net(Tensor(x)).data
+        np.testing.assert_array_equal(serve_out, train_out)
+
+    def test_no_tape_nodes_recorded(self):
+        net = _tiny_net()
+        x = Tensor(np.ones((2, 4)))
+        with inference_mode():
+            out = net(x)
+        assert out._prev == ()
+        assert out._backward is None
+        assert not out.requires_grad
+
+    def test_requires_grad_never_propagates(self):
+        with inference_mode():
+            t = Tensor(np.ones(3), requires_grad=True)
+            assert not t.requires_grad
+            p = Parameter(np.ones(3))
+            assert not p.requires_grad
+
+    def test_parameter_requires_grad_under_plain_no_grad(self):
+        # no_grad suppresses taping but Parameters stay trainable weights;
+        # only the stronger inference mode flips them off.
+        with no_grad():
+            assert Parameter(np.ones(2)).requires_grad
+
+    def test_backward_raises(self):
+        net = _tiny_net()
+        with inference_mode():
+            out = net(Tensor(np.ones((2, 4))))
+            with pytest.raises(RuntimeError, match="inference_mode"):
+                out.sum().backward()
+
+    def test_model_built_inside_mode_stays_gradless_outside(self):
+        with inference_mode():
+            net = _tiny_net()
+        assert all(not p.requires_grad for p in net.parameters())
+        out = net(Tensor(np.ones((2, 4))))
+        # Nothing requires grad, so the forward graph stays empty even in
+        # training mode — a serving model carries no bookkeeping anywhere.
+        assert not out.requires_grad

@@ -1,0 +1,140 @@
+"""Query streams and percentile math: closed-form checks and determinism."""
+
+import numpy as np
+import pytest
+
+from repro.loadgen import (
+    ConstraintSpec,
+    ScenarioSpec,
+    default_scenarios,
+    make_queries,
+    percentile,
+)
+from repro.loadgen.scenarios import SCENARIO_NAMES
+
+
+class TestPercentile:
+    """Nearest-rank estimator against known closed forms."""
+
+    def test_uniform_1_to_100(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == 50
+        assert percentile(values, 90) == 90
+        assert percentile(values, 99) == 99
+        assert percentile(values, 100) == 100
+
+    def test_small_windows(self):
+        assert percentile([7.0], 50) == 7.0
+        assert percentile([7.0], 99) == 7.0
+        # n=4: ceil(.5*4)=2nd, ceil(.9*4)=4th element of the sorted data.
+        assert percentile([4.0, 1.0, 3.0, 2.0], 50) == 2.0
+        assert percentile([4.0, 1.0, 3.0, 2.0], 90) == 4.0
+
+    def test_result_is_always_observed_value(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=37).tolist()
+        for p in (1, 25, 50, 75, 90, 99, 100):
+            assert percentile(values, p) in values
+
+    def test_tiny_percentile_clamps_to_first_rank(self):
+        assert percentile([5.0, 1.0, 3.0], 0.001) == 1.0
+
+    def test_empty_window_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 50)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 0.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], 100.5)
+
+
+class TestMakeQueries:
+    def _server_spec(self, n=64, qps=50.0):
+        return ScenarioSpec(scenario="server", query_count=n, target_qps=qps)
+
+    def test_same_seed_bit_identical(self):
+        spec = self._server_spec()
+        a = make_queries(spec, pool_size=100, seed=7)
+        b = make_queries(spec, pool_size=100, seed=7)
+        assert a == b  # frozen dataclasses: exact index AND arrival equality
+
+    def test_different_seed_differs(self):
+        spec = self._server_spec()
+        a = make_queries(spec, pool_size=100, seed=7)
+        b = make_queries(spec, pool_size=100, seed=8)
+        assert a != b
+
+    def test_scenarios_draw_from_distinct_streams(self):
+        specs = {
+            "single_stream": ScenarioSpec("single_stream", 64),
+            "server": self._server_spec(),
+            "offline": ScenarioSpec("offline", 64),
+        }
+        streams = {
+            name: [q.index for q in make_queries(spec, 100, seed=0)]
+            for name, spec in specs.items()
+        }
+        assert streams["single_stream"] != streams["server"]
+        assert streams["server"] != streams["offline"]
+
+    def test_poisson_arrivals_increase(self):
+        queries = make_queries(self._server_spec(n=256, qps=200.0), 10, seed=3)
+        arrivals = [q.issue_s for q in queries]
+        assert all(b > a for a, b in zip(arrivals, arrivals[1:]))
+        # Mean inter-arrival ~ 1/qps; generous 3x band just guards units.
+        mean_gap = arrivals[-1] / len(arrivals)
+        assert 1 / 600.0 < mean_gap < 3 / 200.0
+
+    def test_non_server_arrivals_all_zero(self):
+        for scenario in ("single_stream", "offline"):
+            spec = ScenarioSpec(scenario=scenario, query_count=16)
+            assert all(q.issue_s == 0.0 for q in make_queries(spec, 10, 0))
+
+    def test_indices_stay_in_pool(self):
+        queries = make_queries(self._server_spec(n=512), pool_size=3, seed=1)
+        assert {q.index for q in queries} <= {0, 1, 2}
+
+    def test_bad_pool_size_raises(self):
+        with pytest.raises(ValueError, match="pool_size"):
+            make_queries(self._server_spec(), pool_size=0, seed=0)
+
+
+class TestSpecValidation:
+    def test_unknown_scenario(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            ScenarioSpec(scenario="multistream", query_count=8)
+
+    def test_server_needs_positive_qps(self):
+        with pytest.raises(ValueError, match="target_qps"):
+            ScenarioSpec(scenario="server", query_count=8)
+        with pytest.raises(ValueError, match="target_qps"):
+            ScenarioSpec(scenario="server", query_count=8, target_qps=0.0)
+
+    def test_warmup_must_leave_a_window(self):
+        with pytest.raises(ValueError, match="warmup"):
+            ScenarioSpec(scenario="offline", query_count=8, warmup_queries=8)
+
+    def test_constraint_bounds(self):
+        with pytest.raises(ValueError, match="latency_percentile"):
+            ConstraintSpec(latency_percentile=0.0)
+        with pytest.raises(ValueError, match="latency_bound_s"):
+            ConstraintSpec(latency_bound_s=-1.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            ConstraintSpec(min_qps=-1.0)
+
+    def test_at_qps_retargets_only_rate(self):
+        spec = ScenarioSpec(scenario="server", query_count=8, target_qps=10.0)
+        probed = spec.at_qps(250.0)
+        assert probed.target_qps == 250.0
+        assert probed.query_count == spec.query_count
+        assert probed.constraint == spec.constraint
+
+    def test_default_scenarios_cover_all_three(self):
+        specs = default_scenarios(query_count=32, warmup_queries=2)
+        assert set(specs) == set(SCENARIO_NAMES)
+        assert specs["single_stream"].constraint.latency_percentile == 90.0
+        assert specs["server"].constraint.latency_percentile == 99.0
+        assert specs["offline"].constraint.latency_bound_s is None
+        assert all(s.query_count == 32 for s in specs.values())

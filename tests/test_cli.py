@@ -476,3 +476,61 @@ class TestFailedRunTraceFlush:
         code, text = run_cli("analyze", str(trace))
         assert code == 0
         assert "epoch" in text
+
+
+class TestTable1Json:
+    def test_machine_readable_listing(self):
+        import json
+
+        code, text = run_cli("table1", "--json")
+        assert code == 0
+        doc = json.loads(text)
+        assert doc["schema"] == "repro.table1.v1"
+        names = {row["name"] for row in doc["benchmarks"]}
+        assert {"image_classification", "recommendation"} <= names
+        for row in doc["benchmarks"]:
+            assert {"name", "quality_threshold"} <= set(row)
+
+
+class TestLoadgenCommand:
+    def test_requires_benchmark_or_smoke(self):
+        code, text = run_cli("loadgen")
+        assert code == 2
+        assert "--benchmark" in text
+
+    def test_unknown_benchmark(self):
+        code, text = run_cli("loadgen", "--benchmark", "frobnication")
+        assert code == 2
+        assert "unknown benchmark" in text
+
+    def test_serves_all_scenarios_from_fresh_training(self, tmp_path):
+        import json
+
+        report = tmp_path / "BENCH_loadgen.json"
+        code, text = run_cli(
+            "loadgen", "--benchmark", "recommendation", "--queries", "16",
+            "--timing", "virtual", "--train-epochs", "1", "--no-rerun",
+            "-o", str(report))
+        assert code == 0
+        for scenario in ("single_stream", "server", "offline"):
+            assert scenario in text
+        assert "VALID" in text
+        doc = json.loads(report.read_text())
+        assert doc["schema"] == "repro.bench_loadgen.v1"
+        server = doc["benchmarks"]["recommendation"]["server"]
+        assert server["max_qps"] > 0
+        # No rerun pass -> determinism deliberately unproven.
+        assert doc["checks"]["deterministic"] is None
+
+    def test_saved_events_render_in_analyze(self, tmp_path):
+        save = tmp_path / "serving"
+        code, text = run_cli(
+            "loadgen", "--benchmark", "recommendation", "--queries", "8",
+            "--scenario", "offline", "--timing", "virtual",
+            "--train-epochs", "1", "--no-rerun", "-o", "-",
+            "--save", str(save))
+        assert code == 0
+        assert (save / "events" / "loadgen.jsonl").exists()
+        code, text = run_cli("analyze", str(save))
+        assert code == 0
+        assert "serve:offline" in text or "query" in text
