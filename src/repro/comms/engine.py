@@ -164,6 +164,12 @@ class ShardedDataParallel:
         self._missing = np.zeros((self.num_workers, len(self._params)), dtype=np.uint8)
         # One writer, rebound to the active worker's buffers per shard.
         self._writer = BucketWriter(self.layout, self._out_bufs)
+        # Compiled-step driver: every shard has the same graph shape, so one
+        # plan serves all workers; the plan replays parameter grad hooks in
+        # eager leaf order, which is what bucketed overlap relies on.
+        from ..framework.compile import StepExecutor
+
+        self._executor = StepExecutor(name="sdp-inline")
 
     def _step_inline(self, batch: tuple[np.ndarray, ...]) -> float:
         shards = shard_batch(batch, self.num_workers)
@@ -175,8 +181,7 @@ class ShardedDataParallel:
                 self._writer.buffers = self._worker_bufs[w]
                 self._writer.arm()
                 self.model.zero_grad()
-                loss = self.loss_fn(self.model, shard)
-                loss.backward()
+                loss = self._executor.step(lambda: self.loss_fn(self.model, shard))
                 for slot in self._writer.flush_missing():
                     self._missing[w, slot.index] = 1
             total_loss += float(loss.data)
@@ -312,6 +317,9 @@ class ShardedDataParallel:
                     self._ready_events[b].set()
 
         writer = BucketWriter(self.layout, self._grad_views[rank], on_bucket_ready)
+        from ..framework.compile import StepExecutor
+
+        self._worker_executor = StepExecutor(name=f"sdp-worker-{rank}")
         my_chunks = [
             (b, chunk)
             for b, plan in enumerate(self._chunk_plan)
@@ -340,8 +348,7 @@ class ShardedDataParallel:
 
         writer.arm()
         self.model.zero_grad()
-        loss = self.loss_fn(self.model, shard)
-        loss.backward()
+        loss = self._worker_executor.step(lambda: self.loss_fn(self.model, shard))
         for slot in writer.flush_missing():
             self._ctrl["missing"][rank, slot.index] = 1
         self._ctrl["t_bwd_end"][rank] = time.monotonic()

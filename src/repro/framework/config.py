@@ -16,6 +16,12 @@ three bit-identical implementations:
 - ``fused`` — ``reuse`` plus fused kernels (``conv2d_bias_relu``,
   ``linear_bias_act``, the in-place SGD/momentum update) that collapse
   several autograd nodes into one.  Still bit-identical.
+- ``compiled`` — ``fused`` plus whole-step graph capture and compiled
+  replay (see :mod:`repro.framework.compile`): training steps driven
+  through a :class:`~repro.framework.compile.StepExecutor` fingerprint the
+  autograd tape once, then replay a pre-resolved plan with liveness-planned
+  gradient storage and automatically fused elementwise backward chains.
+  Still bit-identical; non-matching steps fall back to eager replay.
 
 The mode is process-wide (read once from the environment, overridable with
 :func:`set_kernel_mode` / :func:`use_kernel_mode`), not per-tensor: the
@@ -29,7 +35,7 @@ import os
 
 __all__ = ["KERNEL_MODES", "kernel_mode", "set_kernel_mode", "use_kernel_mode"]
 
-KERNEL_MODES = ("naive", "reuse", "fused")
+KERNEL_MODES = ("naive", "reuse", "fused", "compiled")
 
 _DEFAULT_MODE = "fused"
 
@@ -44,7 +50,7 @@ _MODE = _validated(os.environ.get("REPRO_KERNEL_MODE", _DEFAULT_MODE))
 
 
 def kernel_mode() -> str:
-    """The active kernel mode (``naive`` | ``reuse`` | ``fused``)."""
+    """The active kernel mode (``naive`` | ``reuse`` | ``fused`` | ``compiled``)."""
     return _MODE
 
 

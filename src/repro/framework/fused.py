@@ -38,7 +38,7 @@ def conv2d_bias_relu(x: Tensor, weight: Tensor, bias: Tensor | None = None,
     """
     if x.shape[1] != weight.shape[1]:
         raise ValueError(f"input channels {x.shape[1]} != weight channels {weight.shape[1]}")
-    if kernel_mode() == "fused":
+    if kernel_mode() in ("fused", "compiled"):
         dt = _uniform_float_dtype(x, weight, bias)
         if dt is not None:
             return _conv2d_arena(x, weight, bias, stride, pad, dt, relu=True)
@@ -56,7 +56,7 @@ def linear_bias_act(x: Tensor, weight: Tensor, bias: Tensor | None = None,
     """
     if act not in _ACTS:
         raise ValueError(f"act must be one of {_ACTS}, got {act!r}")
-    if kernel_mode() == "fused" and x.ndim >= 2:
+    if kernel_mode() in ("fused", "compiled") and x.ndim >= 2:
         dt = _uniform_float_dtype(x, weight, bias)
         if dt is not None:
             return _linear_fused(x, weight, bias, act, dt)

@@ -31,6 +31,24 @@ _INFERENCE_MODE = False
 # telemetry session installs the profiler's tracker only while profiling.
 _ALLOC_TRACKER: Callable[[int], None] | None = None
 
+# Graph-capture tape.  When a list is installed here (by the compiled step
+# executor, see :mod:`repro.framework.compile`), every tensor wired into the
+# autodiff graph is appended in creation order and remembers its position in
+# ``_tape_idx``.  None (the default) keeps ``_make`` at one global check.
+_TAPE: "list[Tensor] | None" = None
+
+
+def _set_tape(tape: "list[Tensor] | None"):
+    """Install (or remove, with None) the graph-capture tape.
+
+    Returns the previous tape so capture extents can nest/restore.  This is
+    framework-internal plumbing for :class:`repro.framework.compile.StepExecutor`.
+    """
+    global _TAPE
+    previous = _TAPE
+    _TAPE = tape
+    return previous
+
 
 def set_alloc_tracker(tracker: Callable[[int], None] | None):
     """Install a ``tracker(nbytes)`` called per tensor construction.
@@ -143,7 +161,7 @@ class Tensor:
     """
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name",
-                 "_grad_hooks")
+                 "_grad_hooks", "_vjp", "_tape_idx")
     __array_priority__ = 100  # make ndarray defer to Tensor in mixed ops
 
     def __init__(self, data, requires_grad: bool = False, name: str | None = None):
@@ -239,22 +257,48 @@ class Tensor:
         if requires and backward is not None:
             out._prev = tuple(parents)
             out._backward = lambda: backward(out)
+            if _TAPE is not None:
+                # ``_vjp`` keeps the *raw* adjoint (``_backward`` may later be
+                # wrapped by the profiler); its ``__code__`` identifies the op
+                # across steps for the compiled executor's registry.
+                out._vjp = backward
+                out._tape_idx = len(_TAPE)
+                _TAPE.append(out)
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
-        """Add ``grad`` into ``self.grad`` (lazily allocated)."""
+    def _accumulate(self, grad: np.ndarray, owned: bool = False) -> None:
+        """Add ``grad`` into ``self.grad`` (lazily allocated).
+
+        ``owned=True`` asserts that ``grad`` is a freshly allocated array the
+        caller will never touch again and that aliases no other live gradient
+        — the first accumulation may then take ownership instead of paying an
+        ``astype(..., copy=True)`` duplicate.  Pass-through adjoints (views of
+        the consumer's ``out.grad``, slices, transposes) must keep the default:
+        taking ownership there would alias two tensors' gradients.
+        """
         if not self.requires_grad:
             return
         if self.grad is None:
-            self.grad = grad.astype(self.data.dtype, copy=True)
+            if owned and grad.dtype == self.data.dtype:
+                self.grad = grad
+            else:
+                self.grad = grad.astype(self.data.dtype, copy=True)
         else:
             self.grad += grad
 
-    def backward(self, grad: np.ndarray | None = None) -> None:
+    def backward(self, grad: np.ndarray | None = None, *,
+                 release_tape: bool = False) -> None:
         """Backpropagate from this tensor.
 
         ``grad`` defaults to ones (i.e. the tensor is treated as a sum of its
         elements); for scalar losses this is the conventional seed of 1.0.
+
+        ``release_tape=True`` severs the traversed graph afterwards: every
+        visited interior node drops its ``_backward`` closure and parent
+        links, so activation arrays (and arena borrows captured in closures)
+        become collectible immediately instead of surviving until the next
+        forward rebinds the Python names holding them.  The graph cannot be
+        backpropagated again after release; leaf gradients are untouched.
         """
         if _INFERENCE_MODE:
             raise RuntimeError(
@@ -263,9 +307,16 @@ class Tensor:
         if not self.requires_grad:
             raise RuntimeError("backward() on a tensor that does not require grad")
         if grad is None:
+            # np.ones_like is a fresh allocation owned by this frame: seed it
+            # directly instead of paying a same-size copy per step.
             grad = np.ones_like(self.data)
+            seed_fresh = True
         else:
+            raw = grad
             grad = np.asarray(grad, dtype=self.data.dtype)
+            # asarray only copies when it casts; a caller-held array must
+            # still be defensively copied below.
+            seed_fresh = grad is not raw
             if grad.shape != self.data.shape:
                 raise ValueError(f"seed gradient shape {grad.shape} != tensor shape {self.data.shape}")
 
@@ -285,7 +336,10 @@ class Tensor:
                 if id(parent) not in visited:
                     stack.append((parent, False))
 
-        self.grad = grad.copy() if self.grad is None else self.grad + grad
+        if self.grad is not None:
+            self.grad = self.grad + grad
+        else:
+            self.grad = grad if seed_fresh else grad.copy()
         # While the reverse walk runs, forward-path records from ops built
         # inside backward closures belong to the backward phase.
         prof = profiler()
@@ -306,6 +360,12 @@ class Tensor:
                         hook(node)
         finally:
             prof.phase = prev_phase
+        if release_tape:
+            for node in topo:
+                if node._backward is not None:
+                    node._backward = None
+                    node._vjp = None
+                    node._prev = ()
 
     # ------------------------------------------------------------------
     # Arithmetic
@@ -331,8 +391,11 @@ class Tensor:
         other = Tensor._coerce(other)
 
         def backward(out: Tensor) -> None:
-            self._accumulate(_unbroadcast(out.grad, self.shape))
-            other._accumulate(_unbroadcast(out.grad, other.shape))
+            g = out.grad
+            ga = _unbroadcast(g, self.shape)
+            self._accumulate(ga, owned=ga is not g)
+            gb = _unbroadcast(g, other.shape)
+            other._accumulate(gb, owned=gb is not g)
 
         return Tensor._make(self.data + other.data, (self, other), backward)
 
@@ -340,7 +403,7 @@ class Tensor:
 
     def __neg__(self) -> "Tensor":
         def backward(out: Tensor) -> None:
-            self._accumulate(-out.grad)
+            self._accumulate(-out.grad, owned=True)
 
         return Tensor._make(-self.data, (self,), backward)
 
@@ -357,14 +420,14 @@ class Tensor:
     def __mul__(self, other) -> "Tensor":
         if Tensor._is_scalar(other):
             def backward_s(out: Tensor) -> None:
-                self._accumulate(out.grad * other)
+                self._accumulate(out.grad * other, owned=True)
 
             return Tensor._make(self.data * other, (self,), backward_s)
         other = Tensor._coerce(other)
 
         def backward(out: Tensor) -> None:
-            self._accumulate(_unbroadcast(out.grad * other.data, self.shape))
-            other._accumulate(_unbroadcast(out.grad * self.data, other.shape))
+            self._accumulate(_unbroadcast(out.grad * other.data, self.shape), owned=True)
+            other._accumulate(_unbroadcast(out.grad * self.data, other.shape), owned=True)
 
         return Tensor._make(self.data * other.data, (self, other), backward)
 
@@ -376,9 +439,10 @@ class Tensor:
         other = Tensor._coerce(other)
 
         def backward(out: Tensor) -> None:
-            self._accumulate(_unbroadcast(out.grad / other.data, self.shape))
+            self._accumulate(_unbroadcast(out.grad / other.data, self.shape), owned=True)
             other._accumulate(
-                _unbroadcast(-out.grad * self.data / (other.data * other.data), other.shape)
+                _unbroadcast(-out.grad * self.data / (other.data * other.data), other.shape),
+                owned=True,
             )
 
         return Tensor._make(self.data / other.data, (self, other), backward)
@@ -394,7 +458,8 @@ class Tensor:
             raise TypeError("only scalar exponents are supported")
 
         def backward(out: Tensor) -> None:
-            self._accumulate(out.grad * exponent * np.power(self.data, exponent - 1))
+            self._accumulate(out.grad * exponent * np.power(self.data, exponent - 1),
+                             owned=True)
 
         return Tensor._make(np.power(self.data, exponent), (self,), backward)
 
@@ -405,25 +470,25 @@ class Tensor:
         def backward(out: Tensor) -> None:
             a, b, g = self.data, other.data, out.grad
             if a.ndim == 1 and b.ndim == 1:  # dot product -> scalar
-                self._accumulate(g * b)
-                other._accumulate(g * a)
+                self._accumulate(g * b, owned=True)
+                other._accumulate(g * a, owned=True)
                 return
             if a.ndim == 1:
                 a2 = a[None, :]
                 ga = (g[None, ...] if g.ndim == b.ndim - 1 else g) @ np.swapaxes(b, -1, -2)
-                self._accumulate(_unbroadcast(ga, a2.shape).reshape(a.shape))
+                self._accumulate(_unbroadcast(ga, a2.shape).reshape(a.shape), owned=True)
                 gb = np.swapaxes(a2, -1, -2) @ (g[None, ...] if g.ndim == b.ndim - 1 else g)
-                other._accumulate(_unbroadcast(gb, b.shape))
+                other._accumulate(_unbroadcast(gb, b.shape), owned=True)
                 return
             if b.ndim == 1:
                 b2 = b[:, None]
                 g2 = g[..., None]
-                self._accumulate(_unbroadcast(g2 @ np.swapaxes(b2, -1, -2), a.shape))
+                self._accumulate(_unbroadcast(g2 @ np.swapaxes(b2, -1, -2), a.shape), owned=True)
                 gb = np.swapaxes(a, -1, -2) @ g2
-                other._accumulate(_unbroadcast(gb, b2.shape).reshape(b.shape))
+                other._accumulate(_unbroadcast(gb, b2.shape).reshape(b.shape), owned=True)
                 return
-            self._accumulate(_unbroadcast(g @ np.swapaxes(b, -1, -2), a.shape))
-            other._accumulate(_unbroadcast(np.swapaxes(a, -1, -2) @ g, b.shape))
+            self._accumulate(_unbroadcast(g @ np.swapaxes(b, -1, -2), a.shape), owned=True)
+            other._accumulate(_unbroadcast(np.swapaxes(a, -1, -2) @ g, b.shape), owned=True)
 
         return Tensor._make(self.data @ other.data, (self, other), backward)
 
@@ -434,13 +499,13 @@ class Tensor:
         result = np.exp(self.data)
 
         def backward(out: Tensor) -> None:
-            self._accumulate(out.grad * out.data)
+            self._accumulate(out.grad * out.data, owned=True)
 
         return Tensor._make(result, (self,), backward)
 
     def log(self) -> "Tensor":
         def backward(out: Tensor) -> None:
-            self._accumulate(out.grad / self.data)
+            self._accumulate(out.grad / self.data, owned=True)
 
         return Tensor._make(np.log(self.data), (self,), backward)
 
@@ -448,7 +513,7 @@ class Tensor:
         result = np.sqrt(self.data)
 
         def backward(out: Tensor) -> None:
-            self._accumulate(out.grad * 0.5 / out.data)
+            self._accumulate(out.grad * 0.5 / out.data, owned=True)
 
         return Tensor._make(result, (self,), backward)
 
@@ -457,7 +522,7 @@ class Tensor:
         result = np.tanh(self.data)
 
         def backward(out: Tensor) -> None:
-            self._accumulate(out.grad * (1.0 - out.data * out.data))
+            self._accumulate(out.grad * (1.0 - out.data * out.data), owned=True)
 
         return Tensor._make(result, (self,), backward)
 
@@ -471,7 +536,7 @@ class Tensor:
         )
 
         def backward(out: Tensor) -> None:
-            self._accumulate(out.grad * out.data * (1.0 - out.data))
+            self._accumulate(out.grad * out.data * (1.0 - out.data), owned=True)
 
         return Tensor._make(result, (self,), backward)
 
@@ -480,7 +545,7 @@ class Tensor:
         mask = self.data > 0
 
         def backward(out: Tensor) -> None:
-            self._accumulate(out.grad * mask)
+            self._accumulate(out.grad * mask, owned=True)
 
         return Tensor._make(self.data * mask, (self,), backward)
 
@@ -488,7 +553,7 @@ class Tensor:
         sign = np.sign(self.data)
 
         def backward(out: Tensor) -> None:
-            self._accumulate(out.grad * sign)
+            self._accumulate(out.grad * sign, owned=True)
 
         return Tensor._make(np.abs(self.data), (self,), backward)
 
@@ -496,7 +561,7 @@ class Tensor:
         mask = (self.data > low) & (self.data < high)
 
         def backward(out: Tensor) -> None:
-            self._accumulate(out.grad * mask)
+            self._accumulate(out.grad * mask, owned=True)
 
         return Tensor._make(np.clip(self.data, low, high), (self,), backward)
 
@@ -510,7 +575,7 @@ class Tensor:
                 axes = (axis,) if np.isscalar(axis) else tuple(axis)
                 axes = tuple(a % self.ndim for a in axes)
                 grad = np.expand_dims(grad, tuple(sorted(axes)))
-            self._accumulate(np.broadcast_to(grad, self.shape).copy())
+            self._accumulate(np.broadcast_to(grad, self.shape).copy(), owned=True)
 
         return Tensor._make(self.data.sum(axis=axis, keepdims=keepdims), (self,), backward)
 
@@ -534,7 +599,7 @@ class Tensor:
             grad = out.grad
             if axis is not None and not keepdims:
                 grad = np.expand_dims(grad, axis if np.isscalar(axis) else tuple(axis))
-            self._accumulate(mask * grad)
+            self._accumulate(mask * grad, owned=True)
 
         return Tensor._make(result, (self,), backward)
 
@@ -574,7 +639,7 @@ class Tensor:
         def backward(out: Tensor) -> None:
             grad = np.zeros_like(self.data)
             np.add.at(grad, index, out.grad)
-            self._accumulate(grad)
+            self._accumulate(grad, owned=True)
 
         return Tensor._make(self.data[index], (self,), backward)
 
@@ -623,8 +688,8 @@ class Tensor:
         condition = np.asarray(condition)
 
         def backward(out: Tensor) -> None:
-            a._accumulate(_unbroadcast(out.grad * condition, a.shape))
-            b._accumulate(_unbroadcast(out.grad * (~condition), b.shape))
+            a._accumulate(_unbroadcast(out.grad * condition, a.shape), owned=True)
+            b._accumulate(_unbroadcast(out.grad * (~condition), b.shape), owned=True)
 
         return Tensor._make(np.where(condition, a.data, b.data), (a, b), backward)
 
@@ -642,6 +707,6 @@ class Tensor:
         def backward(out: Tensor) -> None:
             grad = np.zeros_like(self.data)
             np.add.at(grad, indices.reshape(-1), out.grad.reshape(-1, *self.shape[1:]))
-            self._accumulate(grad)
+            self._accumulate(grad, owned=True)
 
         return Tensor._make(self.data[indices], (self,), backward)

@@ -63,6 +63,22 @@ class TrainingSession(ABC):
     def run_epoch(self, epoch: int) -> None:
         """Train for one epoch (or one RL iteration)."""
 
+    def step_executor(self):
+        """The session's step driver (lazily created, one per session).
+
+        Under ``REPRO_KERNEL_MODE=compiled`` the executor captures the
+        training step's autograd tape and replays a compiled plan on
+        fingerprint-identical steps; under every other kernel mode
+        :meth:`~repro.framework.compile.StepExecutor.step` is exactly the
+        eager ``forward(); pre_backward(); loss.backward()`` sequence.
+        """
+        executor = getattr(self, "_step_executor", None)
+        if executor is None:
+            from ..framework.compile import StepExecutor
+
+            executor = self._step_executor = StepExecutor(name=type(self).__name__)
+        return executor
+
     @abstractmethod
     def evaluate(self) -> float:
         """Return the current quality metric on the held-out set."""

@@ -96,10 +96,10 @@ class _Session(TrainingSession):
         samples = current_metrics().counter("samples_seen")
         for images, labels in self.loader:
             with tracer.span("train_step", batch=len(images)):
-                logits = self.model(Tensor(images))
-                loss = F.cross_entropy(logits, labels)
-                self.model.zero_grad()
-                loss.backward()
+                loss = self.step_executor().step(
+                    lambda: F.cross_entropy(self.model(Tensor(images)), labels),
+                    pre_backward=self.model.zero_grad,
+                )
                 self.optimizer.step()
                 self.scheduler.step()
             samples.inc(len(images))

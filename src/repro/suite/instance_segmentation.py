@@ -84,9 +84,10 @@ class _Session(TrainingSession):
                 boxes = [np.stack([o.box for o in s.objects]) for s in batch]
                 labels = [np.array([o.label for o in s.objects]) for s in batch]
                 masks = [np.stack([o.mask for o in s.objects]) for s in batch]
-                loss = self.model.loss(images, boxes, labels, masks)
-                self.model.zero_grad()
-                loss.backward()
+                loss = self.step_executor().step(
+                    lambda: self.model.loss(images, boxes, labels, masks),
+                    pre_backward=self.model.zero_grad,
+                )
                 self.optimizer.step()
                 self.scheduler.step()
             samples.inc(bs)

@@ -76,10 +76,11 @@ class _Session(TrainingSession):
                 images = Tensor(ShapeScenes.batch_images(batch))
                 boxes = [np.stack([o.box for o in s.objects]) for s in batch]
                 labels = [np.array([o.label for o in s.objects]) for s in batch]
-                loss = self.model.loss(images, boxes, labels,
-                                       negative_ratio=self.hp["negative_ratio"])
-                self.model.zero_grad()
-                loss.backward()
+                loss = self.step_executor().step(
+                    lambda: self.model.loss(images, boxes, labels,
+                                            negative_ratio=self.hp["negative_ratio"]),
+                    pre_backward=self.model.zero_grad,
+                )
                 self.optimizer.step()
                 self.scheduler.step()
             samples.inc(bs)

@@ -95,9 +95,10 @@ class _Session(TrainingSession):
                 if self._engine is not None:
                     self._engine.step((users, items, labels))
                 else:
-                    loss = self.model.loss(users, items, labels)
-                    self.model.zero_grad()
-                    loss.backward()
+                    loss = self.step_executor().step(
+                        lambda: self.model.loss(users, items, labels),
+                        pre_backward=self.model.zero_grad,
+                    )
                     self.optimizer.step()
             samples.inc(len(users))
         record_arena_gauges()

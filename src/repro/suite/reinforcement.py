@@ -97,9 +97,10 @@ class _Session(TrainingSession):
                 planes = np.stack([self.replay[i].planes for i in idx])
                 policy = np.stack([self.replay[i].policy for i in idx])
                 value = np.array([self.replay[i].value for i in idx])
-                loss = self.model.loss(planes, policy, value)
-                self.model.zero_grad()
-                loss.backward()
+                loss = self.step_executor().step(
+                    lambda: self.model.loss(planes, policy, value),
+                    pre_backward=self.model.zero_grad,
+                )
                 self.optimizer.step()
                 samples.inc(len(idx))
         record_arena_gauges()

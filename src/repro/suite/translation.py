@@ -56,9 +56,10 @@ class _TranslationSession(TrainingSession):
             with tracer.span("train_step", batch=bs):
                 src = self.corpus.encoder_inputs([s for s, _ in chunk])
                 dec_in, dec_out = self.corpus.decoder_io([t for _, t in chunk])
-                loss = self._loss(src, dec_in, dec_out)
-                self.model.zero_grad()
-                loss.backward()
+                loss = self.step_executor().step(
+                    lambda: self._loss(src, dec_in, dec_out),
+                    pre_backward=self.model.zero_grad,
+                )
                 clip_grad_norm(self.model.parameters(), self.hp["grad_clip"])
                 self.optimizer.step()
                 if self.scheduler is not None:

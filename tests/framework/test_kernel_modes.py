@@ -34,7 +34,7 @@ from repro.framework.workspace import arena
 
 RNG = np.random.default_rng(0)
 
-MODES = ("reuse", "fused")
+MODES = ("reuse", "fused", "compiled")
 
 
 def _conv_case(n=5, c=3, f=4, h=9, w=7, k=3, dtype=np.float32):
@@ -226,7 +226,7 @@ class TestDataLoaderModes:
 
 class TestConfig:
     def test_default_mode_is_valid(self):
-        assert kernel_mode() in ("naive", "reuse", "fused")
+        assert kernel_mode() in ("naive", "reuse", "fused", "compiled")
 
     def test_set_and_restore(self):
         original = kernel_mode()
