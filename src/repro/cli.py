@@ -37,6 +37,14 @@ Commands mirror how the MLPerf artifacts are used in practice:
 - ``bench-step`` — benchmark whole training steps under the compiled
   executor (``REPRO_KERNEL_MODE=compiled``) against fused eager, with
   multi-step bit-identity and plan-cache checks (the step-bench CI gate);
+- ``serve-metrics`` — the live observability server: Prometheus text at
+  ``/metrics``, a JSON API (``/api/campaigns``, ``.../jobs``,
+  ``/api/runs/.../series``, ``/api/alerts``), and an SSE stream at
+  ``/events``, all tailed incrementally from campaign files;
+- ``alerts`` — deterministically replay a campaign's event streams
+  through the declarative alert rules (stall, heartbeat loss, quality
+  regression, throughput drop, arena hit-rate drop), writing
+  ``alerts.jsonl`` and printing the firing/resolved timeline;
 - ``hp-table`` — print the §6 scale → hyperparameters recommendation table;
 - ``simulate`` — print the Figure 4/5 round-simulation summaries.
 """
@@ -167,6 +175,53 @@ def build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--events", type=int, default=6, metavar="N",
                          help="how many recent events to tail (default 6; "
                               "0 hides the tail)")
+
+    serve = sub.add_parser(
+        "serve-metrics",
+        help="HTTP observability server over campaign directories: "
+             "Prometheus text at /metrics, JSON API under /api/, and a "
+             "Server-Sent Events stream at /events — file-tailing only, "
+             "safe to point at campaigns run by other processes")
+    serve.add_argument("root",
+                       help="a campaign directory, or a directory whose "
+                            "subdirectories are campaigns")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default %(default)s)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port (default %(default)s; 0 picks an "
+                            "ephemeral port)")
+    serve.add_argument("--rules", metavar="FILE",
+                       help="JSON alert-rules file (default: one rule of "
+                            "every kind at documented thresholds)")
+    serve.add_argument("--stall-after", type=float, default=None,
+                       metavar="SECONDS",
+                       help="stall threshold for the monitor view "
+                            "(default 30)")
+    serve.add_argument("--refresh", type=float, default=0.5,
+                       metavar="SECONDS",
+                       help="minimum interval between file polls; "
+                            "concurrent scrapes coalesce (default 0.5)")
+    serve.add_argument("--no-alerts-log", action="store_true",
+                       help="do not append alert transitions to each "
+                            "campaign's alerts.jsonl")
+
+    alerts = sub.add_parser(
+        "alerts",
+        help="replay a campaign's event streams through the alert rules: "
+             "print the firing/resolved timeline and write alerts.jsonl "
+             "(deterministic: identical streams give identical files)")
+    alerts.add_argument("campaign_dir",
+                        help="a campaign directory (from `campaign --save`)")
+    alerts.add_argument("--rules", metavar="FILE",
+                        help="JSON alert-rules file (default: one rule of "
+                             "every kind at documented thresholds)")
+    alerts.add_argument("--now", type=float, default=None, metavar="T",
+                        help="final evaluation instant in event-stream "
+                             "seconds (default: the last event's time)")
+    alerts.add_argument("--json", action="store_true",
+                        help="emit transitions + firing alerts as JSON")
+    alerts.add_argument("--no-write", action="store_true",
+                        help="do not (re)write <campaign>/alerts.jsonl")
 
     diff = sub.add_parser(
         "bench-diff",
@@ -661,20 +716,22 @@ def _cmd_stats(args, out) -> int:
 
 
 def _cmd_monitor(args, out) -> int:
-    from pathlib import Path
+    from .telemetry import render_monitor_view
+    from .telemetry.monitor import (DEFAULT_STALL_AFTER_S, CampaignTailer,
+                                    campaign_dir_problem)
 
-    from .telemetry import load_monitor_view, render_monitor_view
-    from .telemetry.monitor import DEFAULT_STALL_AFTER_S
-
-    campaign_dir = Path(args.campaign_dir)
-    if not campaign_dir.is_dir():
-        print(f"no such campaign directory: {campaign_dir}", file=out)
-        return 2
+    problem = campaign_dir_problem(args.campaign_dir)
+    if problem is not None:
+        print(f"monitor: {problem}", file=out)
+        return 1
     stall_after = (DEFAULT_STALL_AFTER_S if args.stall_after is None
                    else args.stall_after)
+    # A tailer instead of load_monitor_view so --watch re-reads nothing:
+    # each refresh consumes only bytes appended since the previous one.
+    tailer = CampaignTailer(args.campaign_dir, stall_after_s=stall_after)
 
     def refresh():
-        view = load_monitor_view(campaign_dir, stall_after_s=stall_after)
+        view = tailer.refresh()
         print(render_monitor_view(view, recent_events=args.events), file=out)
         return view
 
@@ -687,6 +744,92 @@ def _cmd_monitor(args, out) -> int:
             print(file=out)
             view = refresh()
     return 0 if not view.stalled_jobs else 1
+
+
+def _cmd_alerts(args, out) -> int:
+    from pathlib import Path
+
+    from .telemetry.alerts import (default_rules, load_rules_file,
+                                   render_alert_table, replay_alerts)
+    from .telemetry.events import EventLog, merge_event_streams
+    from .telemetry.monitor import campaign_dir_problem
+    from .telemetry.serve import ALERTS_LOG_NAME
+
+    campaign_dir = Path(args.campaign_dir)
+    problem = campaign_dir_problem(campaign_dir)
+    if problem is not None:
+        print(f"alerts: {problem}", file=out)
+        return 1
+    try:
+        rules = (load_rules_file(args.rules) if args.rules
+                 else default_rules())
+    except (OSError, ValueError) as exc:
+        print(f"alerts: {exc}", file=out)
+        return 2
+
+    events_dir = campaign_dir / "events"
+    streams = sorted(p for p in (events_dir.glob("*.jsonl")
+                                 if events_dir.is_dir() else [])
+                     if p.name != ALERTS_LOG_NAME)
+    events = merge_event_streams(streams)
+    engine, transitions = replay_alerts(events, rules, now_s=args.now)
+
+    if not args.no_write:
+        # mode="w": the file is a pure function of the event streams (and
+        # rules), so a re-run reproduces it byte for byte.
+        with EventLog(campaign_dir / ALERTS_LOG_NAME, mode="w") as log:
+            for transition in transitions:
+                log.write(transition)
+
+    active = engine.active()
+    if args.json:
+        print(json.dumps({
+            "transitions": [{"event": t.name, "time_s": t.time_s, **t.args}
+                            for t in transitions],
+            "firing": [a.to_payload() for a in active],
+        }, indent=2, sort_keys=True), file=out)
+    else:
+        print(f"{len(events)} event(s) from {len(streams)} stream(s), "
+              f"{len(transitions)} alert transition(s)", file=out)
+        print(render_alert_table(transitions, active), file=out)
+        if not args.no_write:
+            print(f"alert log written to {campaign_dir / ALERTS_LOG_NAME}",
+                  file=out)
+    return 1 if active else 0
+
+
+def _cmd_serve_metrics(args, out) -> int:
+    from .telemetry.alerts import load_rules_file
+    from .telemetry.monitor import DEFAULT_STALL_AFTER_S
+    from .telemetry.serve import ObservabilityServer, discover_campaign_dirs
+
+    try:
+        rules = load_rules_file(args.rules) if args.rules else None
+    except (OSError, ValueError) as exc:
+        print(f"serve-metrics: {exc}", file=out)
+        return 2
+    found = discover_campaign_dirs(args.root)
+    if not found:
+        print(f"serve-metrics: no campaigns under {args.root} yet — "
+              f"serving anyway, will pick them up as they appear", file=out)
+    server = ObservabilityServer(
+        args.root, host=args.host, port=args.port, rules=rules,
+        stall_after_s=(DEFAULT_STALL_AFTER_S if args.stall_after is None
+                       else args.stall_after),
+        min_refresh_s=args.refresh,
+        write_alerts=not args.no_alerts_log,
+    ).bind()
+    print(f"observability server on {server.url} "
+          f"({len(found)} campaign(s))", file=out)
+    print(f"  metrics:   {server.url}/metrics", file=out)
+    print(f"  api:       {server.url}/api/campaigns  /api/alerts", file=out)
+    print(f"  sse:       {server.url}/events", file=out)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("interrupted; shutting down", file=out)
+        server.close()
+    return 0
 
 
 def _cmd_bench_diff(args, out) -> int:
@@ -1089,6 +1232,8 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "stats": _cmd_stats,
     "monitor": _cmd_monitor,
+    "alerts": _cmd_alerts,
+    "serve-metrics": _cmd_serve_metrics,
     "bench-diff": _cmd_bench_diff,
     "profile": _cmd_profile,
     "analyze": _cmd_analyze,

@@ -221,7 +221,8 @@ class BenchmarkRunner:
 
             timer.run_start()
             logger.event(Keys.RUN_START)
-            events.publish("run_start", benchmark=spec.name, seed=seed)
+            events.publish("run_start", benchmark=spec.name, seed=seed,
+                           target=spec.quality_threshold)
             run_t0 = self.clock.now()
 
             cap = max_epochs if max_epochs is not None else spec.max_epochs

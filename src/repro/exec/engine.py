@@ -23,7 +23,9 @@ parent-side with ``pid = seed`` so one Chrome trace shows all workers.
 from __future__ import annotations
 
 import time
+import zlib
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Any, Callable, Mapping
 
 from ..core.reporting import CampaignSummary
@@ -157,7 +159,18 @@ def run_campaign(
     started = wall_clock()
 
     plan = plan_campaign(spec, benchmark_specs)
+    # Campaign identity for observability consumers: the journal directory
+    # name when on disk (what the monitor/server address it by), else a
+    # stable digest of the spec so in-memory campaigns still have one.
+    if journal_dir is not None:
+        campaign_id = Path(journal_dir).name or "campaign"
+    else:
+        campaign_id = "mem-%08x" % zlib.crc32(repr((
+            spec.benchmarks, spec.seeds,
+            tuple(sorted((spec.overrides or {}).items())),
+            spec.max_epochs, spec.timeout_s)).encode())
     campaign_meta = {
+        "campaign_id": campaign_id,
         "benchmarks": list(spec.benchmarks),
         "seeds": spec.seeds,
         "overrides": dict(spec.overrides or {}),
@@ -205,6 +218,7 @@ def run_campaign(
         campaign_log = EventLog(journal.directory / "events" / "campaign.jsonl")
         events.subscribe(campaign_log.write)
     events.publish("campaign_start",
+                   campaign=campaign_id,
                    benchmarks=list(spec.benchmarks),
                    planned_cells=len(plan.jobs),
                    resumed_cells=resumed_cells)
@@ -214,8 +228,11 @@ def run_campaign(
     total_ttt = 0.0
     backoffs_by_cell: dict[tuple[str, int], list[float]] = {}
     outcome_telemetry: list[RunTelemetry | None] = []
-    if journal.directory is not None:
-        wave = [replace(job, stream_dir=str(journal.directory)) for job in wave]
+    wave = [replace(job, campaign_id=campaign_id,
+                    stream_dir=(str(journal.directory)
+                                if journal.directory is not None
+                                else job.stream_dir))
+            for job in wave]
     while wave:
         metrics.counter("campaign_jobs_scheduled").inc(len(wave))
         next_wave: list = []
@@ -249,6 +266,7 @@ def run_campaign(
                     faults += 1
             journal.record(record, outcome.result)
             events.publish("job_finished",
+                           campaign=campaign_id,
                            benchmark=outcome.job.benchmark,
                            seed=outcome.job.seed,
                            status=outcome.status,

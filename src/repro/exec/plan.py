@@ -42,6 +42,10 @@ class JobSpec:
     # Campaign journal directory for live event/heartbeat streams; None
     # (e.g. plain `repro run`) disables stream files entirely.
     stream_dir: str | None = None
+    # The owning campaign's id, stamped into the job's event stream
+    # (``job_start``) so observability consumers can attribute per-job
+    # streams without inferring from directory layout.
+    campaign_id: str | None = None
 
     @property
     def cell(self) -> tuple[str, int]:

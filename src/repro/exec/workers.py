@@ -111,6 +111,11 @@ def execute_job(
         )
         telemetry.events.subscribe(heartbeat.on_event)
         heartbeat.beat(status="running")
+        # First record of every per-job stream: who this stream belongs
+        # to, so consumers never have to infer identity from file names.
+        telemetry.events.publish(
+            "job_start", benchmark=job.benchmark, seed=job.seed,
+            attempt=job.attempt, campaign=job.campaign_id)
 
     try:
         try:

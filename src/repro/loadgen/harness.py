@@ -32,7 +32,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..telemetry import current_events
+from ..telemetry import current_events, current_metrics
+from ..telemetry.metrics import COMMS_LATENCY_BUCKETS
 from .scenarios import Query, ScenarioSpec, make_queries, percentile
 from .sut import SUT, virtual_service_times
 
@@ -182,9 +183,18 @@ def run_scenario(sut: SUT, spec: ScenarioSpec, *, seed: int = 0,
                       servers=max(sut.workers, 1))
     warm = spec.warmup_queries
     measured = records[warm:]
+    # Per-query latency also lands in the ambient metrics registry, so a
+    # saved serving run carries a histogram the /metrics exposition (and
+    # its interpolated p50/p90/p99) can render without replaying events.
+    metrics = current_metrics()
+    latency_hist = metrics.histogram(
+        f"loadgen_latency_seconds_{spec.scenario}", COMMS_LATENCY_BUCKETS)
+    query_count = metrics.counter(f"loadgen_queries_{spec.scenario}")
     for rec in measured:
         events.publish("query", scenario=spec.scenario, index=rec.index,
                        latency_s=rec.latency_s, arrival_s=rec.arrival_s)
+        latency_hist.observe(rec.latency_s)
+        query_count.inc()
 
     latencies = [r.latency_s for r in measured]
     if measured:

@@ -51,13 +51,25 @@ from .trace import (
 from .events import (
     Event,
     EventBus,
+    EventCursor,
     EventLog,
     Heartbeat,
+    HeartbeatCache,
     HeartbeatWriter,
     NULL_EVENTS,
     merge_event_streams,
     read_events,
     read_heartbeat,
+)
+from .alerts import (
+    ActiveAlert,
+    AlertEngine,
+    AlertRule,
+    StreamFold,
+    default_rules,
+    load_rules_file,
+    parse_rules,
+    replay_alerts,
 )
 from .timeseries import (
     RunSeries,
@@ -65,12 +77,19 @@ from .timeseries import (
     render_series_table,
 )
 from .monitor import (
+    CampaignTailer,
     JobView,
     MonitorView,
     build_view,
+    campaign_dir_problem,
     load_monitor_view,
     render_job_table,
     render_monitor_view,
+)
+from .export import (
+    render_exposition,
+    sanitize_metric_name,
+    snapshot_lines,
 )
 from .regress import (
     AttributionRow,
@@ -119,13 +138,19 @@ from .profile import (
 )
 
 __all__ = [
+    "ActiveAlert",
+    "AlertEngine",
+    "AlertRule",
     "AttributionRow",
+    "CampaignTailer",
     "Counter",
     "Event",
     "EventBus",
+    "EventCursor",
     "EventLog",
     "Gauge",
     "Heartbeat",
+    "HeartbeatCache",
     "HeartbeatWriter",
     "Histogram",
     "Instrumented",
@@ -143,6 +168,7 @@ __all__ = [
     "RunTelemetry",
     "SeriesPoint",
     "Span",
+    "StreamFold",
     "Telemetry",
     "TraceAnalysis",
     "Tracer",
@@ -151,6 +177,7 @@ __all__ = [
     "analyze_trace",
     "attribute_regression",
     "build_view",
+    "campaign_dir_problem",
     "chrome_trace_from_intervals",
     "compare_reports",
     "current_events",
@@ -160,20 +187,27 @@ __all__ = [
     "current_tracer",
     "decompose_log_events",
     "dedupe_metadata_events",
+    "default_rules",
     "load_monitor_view",
     "load_report",
+    "load_rules_file",
     "merge_event_streams",
     "merge_op_profiles",
     "merge_snapshots",
     "merged_run_telemetry",
     "metadata_events",
+    "parse_rules",
     "profile_mode_from_env",
+    "render_exposition",
     "render_op_profile",
     "read_events",
     "read_heartbeat",
     "render_job_table",
     "render_monitor_view",
     "render_series_table",
+    "replay_alerts",
+    "sanitize_metric_name",
+    "snapshot_lines",
     "spans_from_events",
     "trace_from_log_events",
 ]

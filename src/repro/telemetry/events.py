@@ -38,8 +38,10 @@ from typing import Any, Callable, Iterable
 __all__ = [
     "Event",
     "EventBus",
+    "EventCursor",
     "EventLog",
     "Heartbeat",
+    "HeartbeatCache",
     "HeartbeatWriter",
     "NULL_EVENTS",
     "merge_event_streams",
@@ -183,6 +185,105 @@ def read_events(path: str | Path) -> list[Event]:
                 break  # truncated tail from a killed writer; tolerated
             raise ValueError(f"{path}:{i + 1}: corrupt event line") from exc
     return events
+
+
+class EventCursor:
+    """Incremental tail reader over one JSONL event stream.
+
+    :func:`read_events` re-parses the whole file on every call — fine for
+    one-shot commands, ruinous for a poller (``repro monitor --watch``,
+    the observability server) that revisits growing streams forever.  A
+    cursor remembers the byte offset after the last *complete* line it
+    consumed and each :meth:`poll` reads only what appeared since:
+
+    - A partial final line (a writer killed — or merely buffered — mid
+      record) is **not consumed**: the offset stays at the last newline,
+      so the record is parsed exactly once, on the poll after the writer
+      finishes it.  No duplicates, no drops.
+    - A file that shrank below the offset, or whose inode changed, was
+      truncated or atomically replaced (rotation); the cursor restarts
+      from byte 0 of the new contents.
+    - A complete (newline-terminated) line that fails to parse cannot be
+      crash truncation, so it raises ``ValueError`` like a mid-file
+      corruption in :func:`read_events` does.
+
+    ``consumed_bytes`` counts every byte ever handed to the parser; with
+    a static file it stays put across polls — the "zero re-read" property
+    the server's tests pin down.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.offset = 0
+        self.consumed_bytes = 0
+        self.polls = 0
+        self._ino: int | None = None
+
+    def poll(self) -> list[Event]:
+        """Return every event completed since the last poll."""
+        self.polls += 1
+        try:
+            stat = os.stat(self.path)
+        except OSError:
+            # Missing (not yet created, or rotated away): forget position
+            # so a recreated file is read from its top.
+            self.offset = 0
+            self._ino = None
+            return []
+        if (self._ino is not None and stat.st_ino != self._ino) or \
+                stat.st_size < self.offset:
+            self.offset = 0  # rotated / replaced / truncated
+        self._ino = stat.st_ino
+        if stat.st_size <= self.offset:
+            return []
+        with open(self.path, "rb") as fh:
+            fh.seek(self.offset)
+            chunk = fh.read()
+        # Consume complete lines only; a dangling tail waits for its writer.
+        end = chunk.rfind(b"\n")
+        if end < 0:
+            return []
+        complete, self.offset = chunk[: end + 1], self.offset + end + 1
+        self.consumed_bytes += end + 1
+        events: list[Event] = []
+        for line in complete.split(b"\n")[:-1]:
+            if not line.strip():
+                continue
+            try:
+                events.append(Event.from_payload(
+                    json.loads(line.decode("utf-8", errors="replace"))))
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"{self.path}: corrupt event line ending at byte "
+                    f"{self.offset}") from exc
+        return events
+
+
+class HeartbeatCache:
+    """A ``read_heartbeat`` front that skips re-parsing unchanged files.
+
+    Heartbeats are atomically replaced on every beat, so ``(mtime_ns,
+    size, inode)`` changing is exactly "there is a new record".  A poller
+    asking about a quiet job costs one ``stat``, not a parse.
+    """
+
+    def __init__(self):
+        self._entries: dict[Path, tuple[tuple[int, int, int], Heartbeat | None]] = {}
+
+    def read(self, path: str | Path) -> Heartbeat | None:
+        path = Path(path)
+        try:
+            stat = os.stat(path)
+        except OSError:
+            self._entries.pop(path, None)
+            return None
+        signature = (stat.st_mtime_ns, stat.st_size, stat.st_ino)
+        cached = self._entries.get(path)
+        if cached is not None and cached[0] == signature:
+            return cached[1]
+        beat = read_heartbeat(path)
+        self._entries[path] = (signature, beat)
+        return beat
 
 
 def merge_event_streams(paths: Iterable[str | Path]) -> list[Event]:

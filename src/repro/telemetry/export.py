@@ -1,0 +1,179 @@
+"""Prometheus text exposition over the telemetry file surfaces.
+
+The observability server's ``/metrics`` endpoint speaks the Prometheus
+text format (version 0.0.4) so any off-the-shelf scraper can watch a
+campaign.  Everything here is a pure function from already-loaded state
+— :meth:`~repro.telemetry.metrics.MetricsRegistry.snapshot` dicts,
+:class:`~repro.telemetry.monitor.MonitorView` job tables, alert states —
+to exposition lines; no I/O, no sockets, fully deterministic, so the
+format is unit-testable without a server.
+
+Mapping rules:
+
+- counters/gauges export verbatim under a sanitized ``repro_`` name;
+- histograms export the native histogram family (``_bucket`` with
+  cumulative counts and ``le`` labels, ``_sum``, ``_count``) plus
+  interpolated ``{quantile="0.5|0.9|0.99"}`` gauge lines computed by
+  :meth:`~repro.telemetry.metrics.Histogram.quantile` — the p50/p90/p99
+  a latency dashboard wants without running a query engine;
+- job states become ``repro_campaign_jobs{campaign=...,status=...}``
+  gauges plus per-campaign progress/stall summaries;
+- alerts become a 0/1 ``repro_alert_firing`` gauge per (rule, subject).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Iterable, Mapping
+
+__all__ = ["EXPOSITION_CONTENT_TYPE", "sanitize_metric_name", "format_labels",
+           "snapshot_lines", "view_lines", "alert_lines", "render_exposition"]
+
+EXPOSITION_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+EXPORTED_QUANTILES = (0.5, 0.9, 0.99)
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str, prefix: str = "repro_") -> str:
+    """Coerce an internal metric name into the Prometheus charset."""
+    name = _NAME_BAD_CHARS.sub("_", f"{prefix}{name}")
+    if not _NAME_OK.match(name):
+        name = "_" + name
+    return name
+
+
+def _escape_label(value: Any) -> str:
+    return str(value).replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+
+
+def format_labels(labels: Mapping[str, Any] | None) -> str:
+    """Render a label set: ``{}`` -> ``""``, else ``{k="v",...}`` sorted."""
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{_escape_label(labels[key])}"'
+                     for key in sorted(labels))
+    return "{" + inner + "}"
+
+
+def _fmt(value: float) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _interpolated_quantile(inst: dict[str, Any], q: float) -> float | None:
+    """:meth:`Histogram.quantile` over a serialized snapshot entry."""
+    from .metrics import Histogram
+
+    hist = Histogram("_q", tuple(inst["buckets"]))
+    hist.counts = list(inst["counts"])
+    hist.count = int(inst["count"])
+    hist.sum = float(inst["sum"])
+    if inst.get("min") is not None:
+        hist.min = float(inst["min"])
+    if inst.get("max") is not None:
+        hist.max = float(inst["max"])
+    return hist.quantile(q)
+
+
+def snapshot_lines(snapshot: Mapping[str, Mapping[str, Any]],
+                   labels: Mapping[str, Any] | None = None,
+                   prefix: str = "repro_") -> list[str]:
+    """Exposition lines for one :meth:`MetricsRegistry.snapshot` dict."""
+    lines: list[str] = []
+    for raw_name in sorted(snapshot):
+        inst = snapshot[raw_name]
+        kind = inst.get("type")
+        name = sanitize_metric_name(raw_name, prefix)
+        label_txt = format_labels(labels)
+        if kind == "counter":
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name}{label_txt} {_fmt(inst['value'])}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name}{label_txt} {_fmt(inst['value'])}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {name} histogram")
+            cumulative = 0
+            for bound, count in zip(inst["buckets"], inst["counts"]):
+                cumulative += count
+                bucket_labels = dict(labels or {})
+                bucket_labels["le"] = _fmt(bound)
+                lines.append(f"{name}_bucket{format_labels(bucket_labels)} "
+                             f"{cumulative}")
+            inf_labels = dict(labels or {})
+            inf_labels["le"] = "+Inf"
+            lines.append(f"{name}_bucket{format_labels(inf_labels)} "
+                         f"{inst['count']}")
+            lines.append(f"{name}_sum{label_txt} {_fmt(inst['sum'])}")
+            lines.append(f"{name}_count{label_txt} {inst['count']}")
+            for q in EXPORTED_QUANTILES:
+                value = _interpolated_quantile(inst, q)
+                if value is None:
+                    continue
+                q_labels = dict(labels or {})
+                q_labels["quantile"] = _fmt(q)
+                lines.append(f"{name}_q{format_labels(q_labels)} {_fmt(value)}")
+        # "null" entries (disabled registries) export nothing.
+    return lines
+
+
+# Every state a JobView can carry; exporting the full vector (zeros
+# included) keeps scrape series dense so rate()/deltas behave.
+_JOB_STATES = ("pending", "running", "stalled", "reached", "quality_miss",
+               "fault", "timeout")
+
+
+def view_lines(view, campaign: str) -> list[str]:
+    """Job-state and progress gauges for one campaign's MonitorView."""
+    lines = ["# TYPE repro_campaign_jobs gauge"]
+    counts = view.counts()
+    for status in _JOB_STATES:
+        labels = format_labels({"campaign": campaign, "status": status})
+        lines.append(f"repro_campaign_jobs{labels} {counts.get(status, 0)}")
+    settled, total, fraction = view.completion()
+    labels = format_labels({"campaign": campaign})
+    lines.append("# TYPE repro_campaign_cells gauge")
+    lines.append(f"repro_campaign_cells{labels} {total}")
+    lines.append("# TYPE repro_campaign_settled_fraction gauge")
+    lines.append(f"repro_campaign_settled_fraction{labels} "
+                 f"{_fmt(fraction if fraction is not None else 0.0)}")
+    eta = view.eta_s()
+    if eta is not None:
+        lines.append("# TYPE repro_campaign_eta_seconds gauge")
+        lines.append(f"repro_campaign_eta_seconds{labels} {_fmt(eta)}")
+    lines.append("# TYPE repro_campaign_stalled_jobs gauge")
+    lines.append(f"repro_campaign_stalled_jobs{labels} {len(view.stalled_jobs)}")
+    return lines
+
+
+def alert_lines(active: Iterable[Any], campaign: str) -> list[str]:
+    """One 0/1 gauge sample per currently-firing alert."""
+    lines = ["# TYPE repro_alert_firing gauge"]
+    count = 0
+    for alert in active:
+        labels = format_labels({"campaign": campaign, "rule": alert.rule,
+                                "key": alert.key,
+                                "severity": alert.severity})
+        lines.append(f"repro_alert_firing{labels} 1")
+        count += 1
+    labels = format_labels({"campaign": campaign})
+    lines.append("# TYPE repro_alerts_firing_total gauge")
+    lines.append(f"repro_alerts_firing_total{labels} {count}")
+    return lines
+
+
+def render_exposition(sections: Iterable[list[str]]) -> str:
+    """Join line groups into one exposition body (trailing newline, as
+    the format requires)."""
+    lines: list[str] = []
+    for section in sections:
+        lines.extend(section)
+    return "\n".join(lines) + "\n"

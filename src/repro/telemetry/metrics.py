@@ -96,6 +96,34 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float | None:
+        """Bucket-interpolated quantile estimate, ``q`` in [0, 1].
+
+        Walks the cumulative counts to the bucket holding the ``q``-th
+        observation and interpolates linearly inside it (the Prometheus
+        ``histogram_quantile`` estimator).  The exactly-tracked min/max
+        bound the first and overflow buckets, so the estimate never
+        leaves the observed range; error is bounded by the width of one
+        bucket.  ``None`` on an empty histogram.
+        """
+        if not self.count:
+            return None
+        q = min(max(float(q), 0.0), 1.0)
+        target = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                lo = self.min if i == 0 else self.buckets[i - 1]
+                hi = self.max if i == len(self.buckets) else min(
+                    self.buckets[i], self.max)
+                lo = min(max(lo, self.min), hi)
+                fraction = (target - cumulative) / bucket_count
+                return lo + (hi - lo) * max(fraction, 0.0)
+            cumulative += bucket_count
+        return self.max
+
     def snapshot(self) -> dict[str, Any]:
         return {
             "type": "histogram",
@@ -124,6 +152,9 @@ class _NullInstrument:
         return None
 
     def observe(self, value: float) -> None:
+        return None
+
+    def quantile(self, q: float) -> None:
         return None
 
     def snapshot(self) -> dict[str, Any]:

@@ -25,16 +25,18 @@ states ``reached`` / ``quality_miss`` / ``fault`` / ``timeout``.
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
-from .events import Event, Heartbeat, merge_event_streams, read_heartbeat
+from .events import (Event, EventCursor, Heartbeat, HeartbeatCache,
+                     merge_event_streams, read_heartbeat)
 
-__all__ = ["JobView", "MonitorView", "DEFAULT_STALL_AFTER_S",
-           "load_monitor_view", "build_view", "render_monitor_view",
-           "render_job_table"]
+__all__ = ["JobView", "MonitorView", "CampaignTailer", "DEFAULT_STALL_AFTER_S",
+           "load_monitor_view", "build_view", "campaign_dir_problem",
+           "render_monitor_view", "render_job_table"]
 
 DEFAULT_STALL_AFTER_S = 30.0
 
@@ -240,6 +242,119 @@ def load_monitor_view(
     return build_view(job_records=job_records, planned_cells=planned,
                       heartbeats=heartbeats, campaign=campaign, events=events,
                       now_s=now_s, stall_after_s=stall_after_s)
+
+
+def campaign_dir_problem(campaign_dir: str | Path) -> str | None:
+    """Human-readable reason this directory cannot be monitored, or None.
+
+    ``repro monitor`` / ``repro alerts`` pointed at a typo'd or not-yet-
+    provisioned path should say so in one line and exit nonzero, not
+    unwind a traceback.  A directory counts as a campaign once any of its
+    observability surfaces exists (journal, events, heartbeats).
+    """
+    campaign_dir = Path(campaign_dir)
+    if not campaign_dir.exists():
+        return f"{campaign_dir}: no such campaign directory"
+    if not campaign_dir.is_dir():
+        return f"{campaign_dir}: not a directory"
+    has_journal = (campaign_dir / "campaign_journal.json").is_file()
+    has_events = any((campaign_dir / "events").glob("*.jsonl")) \
+        if (campaign_dir / "events").is_dir() else False
+    has_beats = any((campaign_dir / "heartbeats").glob("*.json")) \
+        if (campaign_dir / "heartbeats").is_dir() else False
+    if not (has_journal or has_events or has_beats):
+        return (f"{campaign_dir}: not a campaign directory (no "
+                f"campaign_journal.json, events/, or heartbeats/)")
+    return None
+
+
+class CampaignTailer:
+    """Incremental :func:`load_monitor_view` for pollers.
+
+    ``load_monitor_view`` re-reads every file on every call — correct for
+    one-shot ``repro monitor``, quadratic for ``--watch`` and the
+    observability server.  The tailer keeps an
+    :class:`~repro.telemetry.events.EventCursor` per stream (new streams
+    are discovered each refresh), a
+    :class:`~repro.telemetry.events.HeartbeatCache`, and a signature-
+    checked journal parse, so a refresh over a quiet campaign costs only
+    ``stat`` calls and already-consumed JSONL bytes are never re-read.
+
+    The accumulated timeline (``self.events``) matches what
+    :func:`~repro.telemetry.events.merge_event_streams` would return for
+    the same files, in the same ``(time_s, pid)`` order.
+    """
+
+    def __init__(self, campaign_dir: str | Path,
+                 stall_after_s: float = DEFAULT_STALL_AFTER_S):
+        self.campaign_dir = Path(campaign_dir)
+        self.stall_after_s = float(stall_after_s)
+        self.events: list[Event] = []
+        self._cursors: dict[Path, EventCursor] = {}
+        self._beats = HeartbeatCache()
+        self._journal_sig: tuple[int, int, int] | None = None
+        self._journal_doc: dict[str, Any] = {}
+
+    @property
+    def consumed_bytes(self) -> int:
+        """Total event-stream bytes ever handed to the parser."""
+        return sum(c.consumed_bytes for c in self._cursors.values())
+
+    def poll_events(self) -> list[Event]:
+        """Consume newly-completed events from every stream (sorted)."""
+        events_dir = self.campaign_dir / "events"
+        if events_dir.is_dir():
+            for path in sorted(events_dir.glob("*.jsonl")):
+                if path not in self._cursors:
+                    self._cursors[path] = EventCursor(path)
+        fresh: list[Event] = []
+        for path in sorted(self._cursors):
+            fresh.extend(self._cursors[path].poll())
+        fresh.sort(key=lambda e: (e.time_s, e.pid))
+        if fresh:
+            if self.events and fresh[0].time_s < self.events[-1].time_s:
+                # A slow stream delivered events older than the merged
+                # tail; re-sort (stable, so same-instant order holds).
+                self.events.extend(fresh)
+                self.events.sort(key=lambda e: (e.time_s, e.pid))
+            else:
+                self.events.extend(fresh)
+        return fresh
+
+    def _journal(self) -> dict[str, Any]:
+        path = self.campaign_dir / "campaign_journal.json"
+        try:
+            stat = os.stat(path)
+        except OSError:
+            self._journal_sig, self._journal_doc = None, {}
+            return self._journal_doc
+        signature = (stat.st_mtime_ns, stat.st_size, stat.st_ino)
+        if signature != self._journal_sig:
+            self._journal_doc = _load_journal_doc(self.campaign_dir)
+            self._journal_sig = signature
+        return self._journal_doc
+
+    def refresh(self, now_s: float | None = None) -> MonitorView:
+        """One poll: absorb new data, return the current view."""
+        now_s = time.time() if now_s is None else float(now_s)
+        self.poll_events()
+        doc = self._journal()
+        campaign = dict(doc.get("campaign", {}))
+        job_records = {key: dict(rec)
+                       for key, rec in doc.get("jobs", {}).items()}
+        planned = [(str(b), int(s))
+                   for b, s in campaign.get("planned_cells", [])]
+        heartbeats: dict[str, Heartbeat] = {}
+        hb_dir = self.campaign_dir / "heartbeats"
+        if hb_dir.is_dir():
+            for path in sorted(hb_dir.glob("*.json")):
+                beat = self._beats.read(path)
+                if beat is not None:
+                    heartbeats[beat.key] = beat
+        return build_view(job_records=job_records, planned_cells=planned,
+                          heartbeats=heartbeats, campaign=campaign,
+                          events=self.events, now_s=now_s,
+                          stall_after_s=self.stall_after_s)
 
 
 def _fmt(value: float | None, spec: str, empty: str = "-") -> str:

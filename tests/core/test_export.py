@@ -1,0 +1,114 @@
+"""Prometheus exposition + the interpolated-quantile satellite.
+
+The quantile cross-check: :meth:`Histogram.quantile` (bucket
+interpolation) must agree with loadgen's exact nearest-rank
+``percentile`` to within one bucket width — the estimator's documented
+error bound.
+"""
+
+import numpy as np
+
+from repro.loadgen.scenarios import percentile
+from repro.telemetry import MetricsRegistry, snapshot_lines
+from repro.telemetry.export import (
+    EXPOSITION_CONTENT_TYPE,
+    alert_lines,
+    format_labels,
+    render_exposition,
+    sanitize_metric_name,
+    view_lines,
+)
+from repro.telemetry.metrics import Histogram
+from repro.telemetry.monitor import JobView, MonitorView
+
+
+class TestQuantile:
+    def test_empty_histogram_is_none(self):
+        assert Histogram("h").quantile(0.5) is None
+
+    def test_single_value(self):
+        h = Histogram("h", (1.0, 2.0))
+        h.observe(1.5)
+        assert h.quantile(0.0) == h.quantile(1.0) == 1.5
+
+    def test_matches_nearest_rank_within_bucket_width(self):
+        rng = np.random.default_rng(7)
+        values = np.concatenate([
+            rng.uniform(0.0, 1.0, 400),        # bulk
+            rng.uniform(2.0, 4.0, 50),         # heavy tail
+        ])
+        buckets = tuple(np.round(np.arange(0.05, 4.05, 0.05), 2))
+        width = 0.05
+        h = Histogram("lat", buckets)
+        for v in values:
+            h.observe(float(v))
+        latencies = [float(v) for v in values]
+        for q in (0.5, 0.9, 0.99):
+            exact = percentile(latencies, q * 100.0)
+            estimate = h.quantile(q)
+            assert abs(estimate - exact) <= width + 1e-9, (q, exact, estimate)
+
+    def test_extremes_clamped_to_observed_range(self):
+        h = Histogram("h", (10.0, 20.0))
+        for v in (0.5, 12.0, 15.0):
+            h.observe(v)
+        assert h.quantile(0.0) >= h.min
+        assert h.quantile(1.0) <= h.max
+
+
+class TestExposition:
+    def test_names_and_labels(self):
+        assert sanitize_metric_name("epoch.seconds") == "repro_epoch_seconds"
+        assert sanitize_metric_name("9lives") == "repro_9lives"
+        assert format_labels({}) == ""
+        assert format_labels({"b": 'x"y', "a": "z"}) == '{a="z",b="x\\"y"}'
+
+    def test_counter_gauge_histogram_families(self):
+        registry = MetricsRegistry()
+        registry.counter("samples_seen").inc(64)
+        registry.gauge("replay_depth").set(3.5)
+        hist = registry.histogram("epoch_seconds", (1.0, 5.0))
+        for v in (0.5, 2.0, 7.0):
+            hist.observe(v)
+        lines = snapshot_lines(registry.snapshot(), labels={"campaign": "c1"})
+        text = render_exposition([lines])
+        assert text.endswith("\n")
+        assert "# TYPE repro_samples_seen counter" in text
+        assert 'repro_samples_seen{campaign="c1"} 64' in text
+        assert 'repro_replay_depth{campaign="c1"} 3.5' in text
+        # Cumulative le buckets plus the +Inf catch-all and exact count.
+        assert 'repro_epoch_seconds_bucket{campaign="c1",le="1"} 1' in text
+        assert 'repro_epoch_seconds_bucket{campaign="c1",le="5"} 2' in text
+        assert 'repro_epoch_seconds_bucket{campaign="c1",le="+Inf"} 3' in text
+        assert 'repro_epoch_seconds_count{campaign="c1"} 3' in text
+        # Interpolated quantile gauges ride along.
+        assert 'repro_epoch_seconds_q{campaign="c1",quantile="0.5"}' in text
+
+    def test_content_type_is_prometheus_text(self):
+        assert "version=0.0.4" in EXPOSITION_CONTENT_TYPE
+
+    def test_view_lines_dense_job_states(self):
+        view = MonitorView(jobs=[
+            JobView(benchmark="b", seed=0, status="reached",
+                    time_to_train_s=4.0),
+            JobView(benchmark="b", seed=1, status="running"),
+        ], now_s=10.0)
+        text = "\n".join(view_lines(view, "c1"))
+        # Every state exports, zeros included, so scrape series stay dense.
+        assert 'repro_campaign_jobs{campaign="c1",status="reached"} 1' in text
+        assert 'repro_campaign_jobs{campaign="c1",status="fault"} 0' in text
+        assert 'repro_campaign_cells{campaign="c1"} 2' in text
+        assert 'repro_campaign_settled_fraction{campaign="c1"} 0.5' in text
+
+    def test_alert_lines(self):
+        from repro.telemetry import ActiveAlert
+
+        active = [ActiveAlert(rule="job_stall", kind="job_stall", key="b/0",
+                              severity="warning", since_s=5.0, value=40.0,
+                              detail="no progress")]
+        text = "\n".join(alert_lines(active, "c1"))
+        assert ('repro_alert_firing{campaign="c1",key="b/0",'
+                'rule="job_stall",severity="warning"} 1') in text
+        assert 'repro_alerts_firing_total{campaign="c1"} 1' in text
+        empty = "\n".join(alert_lines([], "c1"))
+        assert 'repro_alerts_firing_total{campaign="c1"} 0' in empty

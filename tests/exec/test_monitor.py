@@ -46,7 +46,10 @@ class TestCampaignStreams:
         assert kinds.count("job_finished") == 3
         job_events = read_events(events_dir / "fake_benchmark_seed1.jsonl")
         job_kinds = [e.name for e in job_events]
-        assert job_kinds[0] == "run_start"
+        # The stream opens with its identity record, then the run lifecycle.
+        assert job_kinds[0] == "job_start"
+        assert job_events[0].args["campaign"] == tmp_path.name
+        assert job_kinds[1] == "run_start"
         assert job_kinds[-1] == "run_stop"
         assert "epoch" in job_kinds and "eval" in job_kinds
         # Worker events are stamped with the job ordinal and the fake clock.

@@ -1,0 +1,210 @@
+"""The observability server: HTTP endpoints over a finished campaign.
+
+These tests run a real (FakeClock) campaign on disk, boot the server on
+an ephemeral port, and scrape it like Prometheus/a dashboard would. The
+tentpole property — consumed bytes never re-read — is asserted against
+the tailer's own byte accounting across repeated scrapes.
+"""
+
+import json
+import threading
+import urllib.request
+
+from repro.core.timing import FakeClock
+from repro.telemetry.serve import ObservabilityServer, discover_campaign_dirs
+
+from .test_monitor import _run_campaign
+
+
+def _get(url, timeout=10.0):
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return resp.status, resp.headers, resp.read().decode("utf-8")
+
+
+def _get_json(url):
+    status, _, body = _get(url)
+    return status, json.loads(body)
+
+
+class _Server:
+    """Context manager: bound server + background serve thread."""
+
+    def __init__(self, root, clock, **kwargs):
+        kwargs.setdefault("min_refresh_s", 0.0)
+        self.server = ObservabilityServer(root, port=0, clock=clock.now,
+                                          **kwargs).bind()
+        self.thread = threading.Thread(target=self.server.serve_forever,
+                                       daemon=True)
+
+    def __enter__(self):
+        self.thread.start()
+        return self.server
+
+    def __exit__(self, *exc):
+        self.server.shutdown()
+        self.thread.join(timeout=10.0)
+        self.server.close()
+
+
+class TestDiscovery:
+    def test_root_as_single_campaign(self, tmp_path):
+        clock = FakeClock(start=1000.0)
+        _run_campaign(tmp_path, clock)
+        assert discover_campaign_dirs(tmp_path) == {tmp_path.name: tmp_path}
+
+    def test_root_of_campaign_directories(self, tmp_path):
+        clock = FakeClock(start=1000.0)
+        _run_campaign(tmp_path / "c1", clock)
+        _run_campaign(tmp_path / "c2", clock)
+        (tmp_path / "not_a_campaign").mkdir()
+        found = discover_campaign_dirs(tmp_path)
+        assert sorted(found) == ["c1", "c2"]
+
+    def test_empty_root(self, tmp_path):
+        assert discover_campaign_dirs(tmp_path) == {}
+
+
+class TestEndpoints:
+    def test_metrics_api_and_alerts(self, tmp_path):
+        clock = FakeClock(start=1000.0)
+        _run_campaign(tmp_path, clock)
+        cid = tmp_path.name
+        with _Server(tmp_path, clock) as srv:
+            # /metrics: Prometheus text with job states, alert totals, and
+            # the run metrics merged out of the result-file headers.
+            status, headers, text = _get(srv.url + "/metrics")
+            assert status == 200
+            assert "text/plain" in headers["Content-Type"]
+            assert f'repro_campaign_jobs{{campaign="{cid}",status="reached"}} 3' in text
+            assert f'repro_campaign_cells{{campaign="{cid}"}} 3' in text
+            assert f'repro_alerts_firing_total{{campaign="{cid}"}} 0' in text
+            assert "# TYPE repro_campaign_jobs gauge" in text
+            assert "repro_server_polls" in text
+
+            # /api/campaigns: one settled campaign.
+            status, doc = _get_json(srv.url + "/api/campaigns")
+            assert status == 200
+            (campaign,) = doc["campaigns"]
+            assert campaign["id"] == cid
+            assert campaign["cells"] == campaign["settled"] == 3
+            assert campaign["settled_fraction"] == 1.0
+            assert campaign["counts"] == {"reached": 3}
+            assert campaign["alerts_firing"] == 0
+
+            # /api/campaigns/<id>/jobs: the monitor table as data.
+            status, doc = _get_json(f"{srv.url}/api/campaigns/{cid}/jobs")
+            assert status == 200
+            jobs = doc["jobs"]
+            assert [(j["benchmark"], j["seed"], j["status"]) for j in jobs] \
+                == [("fake_benchmark", s, "reached") for s in range(3)]
+            assert all(j["quality"] is not None for j in jobs)
+
+            # /api/runs/<id>/<benchmark>/<seed>/series: header-backed.
+            status, doc = _get_json(
+                f"{srv.url}/api/runs/{cid}/fake_benchmark/1/series")
+            assert status == 200
+            assert doc["run"] == f"{cid}/fake_benchmark/1"
+            assert doc["quality"] is not None
+
+            # /api/alerts: a healthy finished campaign fires nothing.
+            status, doc = _get_json(srv.url + "/api/alerts")
+            assert status == 200
+            assert doc["firing"] == []
+            assert isinstance(doc["recent"], list)
+
+            # The index lists every endpoint; junk paths 404 as JSON.
+            status, doc = _get_json(srv.url + "/")
+            assert status == 200 and "/metrics" in doc["endpoints"]
+            req = urllib.request.Request(srv.url + "/api/nope")
+            try:
+                urllib.request.urlopen(req, timeout=10.0)
+                raise AssertionError("expected 404")
+            except urllib.error.HTTPError as err:
+                assert err.code == 404
+                assert "error" in json.loads(err.read().decode())
+
+    def test_unknown_campaign_and_run_404(self, tmp_path):
+        clock = FakeClock(start=1000.0)
+        _run_campaign(tmp_path, clock)
+        with _Server(tmp_path, clock) as srv:
+            for path in (f"/api/campaigns/ghost/jobs",
+                         f"/api/runs/{tmp_path.name}/ghost/9/series"):
+                try:
+                    urllib.request.urlopen(srv.url + path, timeout=10.0)
+                    raise AssertionError("expected 404")
+                except urllib.error.HTTPError as err:
+                    assert err.code == 404
+
+    def test_sse_streams_campaign_events(self, tmp_path):
+        clock = FakeClock(start=1000.0)
+        _run_campaign(tmp_path, clock)
+        with _Server(tmp_path, clock) as srv:
+            # Prime the ring so the stream has history to replay.
+            srv.refresh(force=True)
+            req = urllib.request.Request(srv.url + "/events")
+            with urllib.request.urlopen(req, timeout=10.0) as resp:
+                assert "text/event-stream" in resp.headers["Content-Type"]
+                raw = resp.read(4096).decode("utf-8")
+            frames = [f for f in raw.split("\n\n") if f.startswith("id:")]
+            assert frames
+            first = frames[0].split("\n")
+            assert first[0] == "id: 1"
+            data = json.loads(first[2][len("data: "):])
+            assert data["campaign"] == tmp_path.name
+            assert "name" in data and "time_s" in data
+
+
+class TestZeroReread:
+    def test_scrapes_never_reread_consumed_bytes(self, tmp_path):
+        clock = FakeClock(start=1000.0)
+        _run_campaign(tmp_path, clock)
+        stream_bytes = sum(p.stat().st_size
+                           for p in (tmp_path / "events").glob("*.jsonl"))
+        srv = ObservabilityServer(tmp_path, clock=clock.now, min_refresh_s=0.0)
+        try:
+            first = srv.metrics_text()
+            state = srv.campaigns[tmp_path.name]
+            assert state.tailer.consumed_bytes == stream_bytes
+            polls_before = state.tailer._cursors and max(
+                c.polls for c in state.tailer._cursors.values())
+            for _ in range(10):
+                clock.advance(1.0)
+                srv.metrics_text()
+            # Ten more scrapes: every cursor polled again, zero new bytes.
+            assert state.tailer.consumed_bytes == stream_bytes
+            assert all(c.polls > polls_before
+                       for c in state.tailer._cursors.values())
+            assert f'repro_server_consumed_bytes_{tmp_path.name}' in first
+        finally:
+            srv.close()
+
+    def test_refresh_is_coalesced_under_min_refresh(self, tmp_path):
+        clock = FakeClock(start=1000.0)
+        _run_campaign(tmp_path, clock)
+        srv = ObservabilityServer(tmp_path, clock=clock.now, min_refresh_s=5.0)
+        try:
+            srv.refresh()
+            state = srv.campaigns[tmp_path.name]
+            polls = state.tailer._cursors and max(
+                c.polls for c in state.tailer._cursors.values())
+            for _ in range(10):
+                srv.refresh()  # same fake instant: all coalesced away
+            assert max(c.polls
+                       for c in state.tailer._cursors.values()) == polls
+        finally:
+            srv.close()
+
+    def test_direct_payloads_without_http(self, tmp_path):
+        """The payload layer works standalone (CLI smoke path)."""
+        clock = FakeClock(start=1000.0)
+        _run_campaign(tmp_path, clock)
+        srv = ObservabilityServer(tmp_path, clock=clock.now, min_refresh_s=0.0,
+                                  write_alerts=False)
+        try:
+            assert srv.campaigns_payload()[0]["counts"] == {"reached": 3}
+            assert srv.jobs_payload(tmp_path.name) is not None
+            assert srv.jobs_payload("ghost") is None
+            assert srv.alerts_payload()["firing"] == []
+            assert not (tmp_path / "alerts.jsonl").exists()
+        finally:
+            srv.close()

@@ -233,8 +233,65 @@ class TestMonitorCommand:
 
     def test_monitor_missing_directory(self, tmp_path):
         code, text = run_cli("monitor", str(tmp_path / "nope"))
-        assert code == 2
+        assert code == 1
         assert "no such campaign directory" in text
+        assert "Traceback" not in text
+
+    def test_monitor_empty_directory(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        code, text = run_cli("monitor", str(empty))
+        assert code == 1
+        assert "not a campaign directory" in text
+
+    def test_alerts_missing_directory(self, tmp_path):
+        code, text = run_cli("alerts", str(tmp_path / "nope"))
+        assert code == 1
+        assert "no such campaign directory" in text
+
+    def test_alerts_rewrite_is_byte_identical(self, tmp_path):
+        # The alert log is a pure function of the event streams: running
+        # `repro alerts` twice must reproduce alerts.jsonl byte for byte.
+        code, _ = run_cli("campaign", "recommendation", "--seeds", "2",
+                          "--save", str(tmp_path))
+        assert code == 0
+        code, text = run_cli("alerts", str(tmp_path))
+        assert code == 0  # healthy finished campaign: nothing firing
+        assert "alert transition(s)" in text
+        log_path = tmp_path / "alerts.jsonl"
+        first = log_path.read_bytes()
+        code, _ = run_cli("alerts", str(tmp_path))
+        assert code == 0
+        assert log_path.read_bytes() == first
+
+    def test_alerts_fire_on_silent_stream(self, tmp_path):
+        # A run that starts and then goes silent: evaluated long after its
+        # last event, the stall and heartbeat-loss rules must both fire.
+        import json as _json
+
+        events_dir = tmp_path / "events"
+        events_dir.mkdir(parents=True)
+        (events_dir / "b_seed0.jsonl").write_text(
+            _json.dumps({"name": "run_start", "time_s": 100.0, "pid": 1,
+                         "args": {"benchmark": "b", "seed": 0}},
+                        sort_keys=True) + "\n")
+        code, text = run_cli("alerts", str(tmp_path), "--now", "1000",
+                             "--json", "--no-write")
+        assert code == 1  # firing alerts exit nonzero (scriptable gate)
+        doc = _json.loads(text)
+        rules = {a["rule"] for a in doc["firing"]}
+        assert {"job_stall", "heartbeat_loss"} <= rules
+        assert not (tmp_path / "alerts.jsonl").exists()  # --no-write
+
+    def test_alerts_bad_rules_file(self, tmp_path):
+        events_dir = tmp_path / "events"
+        events_dir.mkdir(parents=True)
+        (events_dir / "b_seed0.jsonl").write_text("")
+        rules = tmp_path / "rules.json"
+        rules.write_text('[{"rule": "nope"}]')
+        code, text = run_cli("alerts", str(tmp_path), "--rules", str(rules))
+        assert code == 2
+        assert "unknown alert rule kind" in text
 
     def test_campaign_prints_the_shared_job_table(self, tmp_path):
         # Satellite: campaign completion output and `repro monitor` render
